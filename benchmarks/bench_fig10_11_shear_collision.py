@@ -1,0 +1,50 @@
+"""E6 — Figs. 10 & 11: two RBCs in shear flow; temporal convergence.
+
+Paper: two vesicles in the shear flow u = [z, 0, 0]; the error of the
+final centers of mass versus the time step decays as O(dt), i.e. the
+contact-resolution algorithm preserves the first-order accuracy of the
+locally-implicit time stepper. Scaled-down run: same scenario, smaller
+spherical-harmonic orders, reference = finest dt.
+"""
+import numpy as np
+
+from repro.core import Simulation, SimulationConfig
+from repro.surfaces import biconcave_rbc
+
+
+def _final_centroids(dt, T=0.8, order=5):
+    c1 = biconcave_rbc(radius=1.0, order=order, center=(-1.6, 0.0, 0.45))
+    c2 = biconcave_rbc(radius=1.0, order=order, center=(1.6, 0.0, -0.45))
+
+    def shear(pts):
+        u = np.zeros_like(pts)
+        u[:, 0] = pts[:, 2]
+        return u
+
+    cfg = SimulationConfig(dt=dt, background_flow=shear,
+                           with_collisions=True, bending_modulus=0.02)
+    sim = Simulation([c1, c2], config=cfg)
+    sim.run(int(round(T / dt)))
+    return sim.centroids()
+
+
+def _run():
+    dts = [0.2, 0.1, 0.05]
+    ref = _final_centroids(0.025)
+    errs = [np.linalg.norm(_final_centroids(dt) - ref, axis=1).max()
+            for dt in dts]
+    return dts, errs
+
+
+def test_fig10_11_shear_collision_convergence(benchmark):
+    dts, errs = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rates = [np.log2(errs[i] / errs[i + 1]) for i in range(len(errs) - 1)]
+    print("\n=== Figs. 10/11 reproduction (shear-flow temporal convergence) ===")
+    print("paper: centroid error = O(dt) for SH orders 16 and 32")
+    for dt, e in zip(dts, errs):
+        print(f"  dt={dt:<6} centroid err={e:.4e}")
+    print(f"  observed rates between levels: {[f'{r:.2f}' for r in rates]}")
+    # First-order convergence: error decreases monotonically and the
+    # average observed rate is at least ~0.5 (O(dt) modulo constants).
+    assert errs[0] > errs[1] > errs[2]
+    assert np.mean(rates) > 0.5

@@ -1,0 +1,69 @@
+"""E4 — Fig. 7: high-volume-fraction sedimentation under gravity.
+
+Paper: 140 RBCs in a small capsule at 47% volume fraction sediment to the
+bottom; the *local* volume fraction in the lower region rises to ~55%.
+Scaled-down run: a handful of cells in a capsule container, gravity pulls
+them down, collisions keep the packing interference-free; the measured
+quantity is the same — the lower-half volume fraction must increase.
+"""
+import numpy as np
+
+from repro.config import NumericsOptions
+from repro.core import Simulation, SimulationConfig
+from repro.surfaces import sphere
+from repro.patches import capsule_tube
+from repro.vessel import fill_with_rbcs
+
+
+def _lower_fraction(sim, lumen_half):
+    vol = 0.0
+    for c in sim.cells:
+        if c.centroid()[2] < 0.0:
+            vol += c.volume()
+    return vol / lumen_half
+
+
+def _run():
+    opts = NumericsOptions(patch_quad=7, check_order=4, upsample_eta=1,
+                           check_r_factor=0.25, gmres_max_iter=10)
+    vessel = capsule_tube(length=7.0, radius=1.6, refine=0, options=opts)
+
+    def sd(pts):
+        z = np.clip(pts[:, 2], -1.9, 1.9)
+        ax = np.column_stack([np.zeros(len(pts)), np.zeros(len(pts)), z])
+        return np.linalg.norm(pts - ax, axis=1) - 1.6
+
+    # Seed the cells in the *upper* half so settling is visible in a
+    # short run (the paper's Fig. 7 initial state is also top-loaded
+    # relative to its final state).
+    fill = fill_with_rbcs(sd, (np.array([-1.6, -1.6, -0.3]),
+                               np.array([1.6, 1.6, 3.5])), spacing=1.3,
+                          lumen_volume=vessel.volume(), order=5,
+                          shape="sphere", seed=4)
+    cfg = SimulationConfig(dt=0.08, gravity=(2.5, (0.0, 0.0, -1.0)),
+                           with_collisions=True, numerics=opts,
+                           bending_modulus=0.02)
+    sim = Simulation(fill.cells, vessel=vessel, boundary_bc=None, config=cfg)
+    lumen_half = vessel.volume() / 2.0
+    vf0 = sim.volume_fraction()
+    low0 = _lower_fraction(sim, lumen_half)
+    z0 = sim.centroids()[:, 2].mean()
+    sim.run(4)
+    return dict(vf0=vf0, low0=low0, z0=z0,
+                low1=_lower_fraction(sim, lumen_half),
+                z1=sim.centroids()[:, 2].mean(),
+                vf1=sim.volume_fraction(), sim=sim)
+
+
+def test_fig7_sedimentation(benchmark):
+    out = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print("\n=== Fig. 7 reproduction (sedimentation; scaled down) ===")
+    print(f"paper:    global vf 47%  -> lower-region vf ~55% after settling")
+    print(f"measured: global vf {out['vf0']*100:.0f}% ; lower-half vf "
+          f"{out['low0']*100:.0f}% -> {out['low1']*100:.0f}%"
+          f" ; mean centroid z {out['z0']:.3f} -> {out['z1']:.3f}")
+    # Cells sediment: mean height decreases, lower-half fraction grows.
+    assert out["z1"] < out["z0"]
+    assert out["low1"] >= out["low0"]
+    # Total cell volume is conserved by the collision-resolved dynamics.
+    assert abs(out["vf1"] - out["vf0"]) / out["vf0"] < 0.1

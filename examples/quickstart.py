@@ -1,0 +1,45 @@
+"""Quickstart: one red blood cell relaxing in quiescent fluid.
+
+Tour of the public API: build a biconcave RBC surface, inspect its
+geometry, and run a few locally-implicit time steps of pure bending
+relaxation (no background flow, no walls). The Helfrich energy must
+decrease monotonically.
+
+Run:  python examples/quickstart.py
+"""
+import numpy as np
+
+from repro.core import Simulation, SimulationConfig
+from repro.physics import bending_energy
+from repro.surfaces import biconcave_rbc
+
+
+def main() -> None:
+    # An RBC surface is a spectral (spherical-harmonic) closed surface.
+    cell = biconcave_rbc(radius=1.0, order=8)
+    print("=== the cell ===")
+    print(f"surface points : {cell.n_points}")
+    print(f"area           : {cell.area():.4f}")
+    print(f"volume         : {cell.volume():.4f}")
+    print(f"reduced volume : {cell.reduced_volume():.3f}  (sphere = 1, RBC ~ 0.64)")
+
+    # A Simulation couples membrane mechanics to the Stokes mobility.
+    cfg = SimulationConfig(dt=0.05, bending_modulus=0.05,
+                           with_collisions=False)
+    sim = Simulation([cell], config=cfg)
+
+    print("\n=== bending relaxation ===")
+    print(f"{'step':>4} {'t':>6} {'energy':>12} {'area':>10} {'volume':>10}")
+    for k in range(6):
+        E = bending_energy(sim.cells[0], cfg.bending_modulus)
+        print(f"{k:>4} {sim.t:>6.2f} {E:>12.6f} "
+              f"{sim.cells[0].area():>10.5f} {sim.cells[0].volume():>10.5f}")
+        sim.step()
+    E = bending_energy(sim.cells[0], cfg.bending_modulus)
+    print(f"{6:>4} {sim.t:>6.2f} {E:>12.6f}")
+    print("\nbending energy decreases as the biconcave shape relaxes; "
+          "area/volume drift is the (first-order) time-stepping error.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Regenerate the paper's scaling tables (Figs. 4, 5, 6).
+
+Calibrates per-unit costs from this host, measures partition imbalance
+from real Morton decompositions, and prints the three tables in the
+paper's format next to the published efficiency rows. See DESIGN.md
+(substitutions S1/S2) for what is measured versus modeled.
+
+Run:  python examples/scaling_report.py
+"""
+from repro.scaling import KNL, calibrate_costs, strong_scaling_table, weak_scaling_table
+from repro.scaling.harness import format_table
+
+
+def main() -> None:
+    print("calibrating per-unit costs on this host ...")
+    costs = calibrate_costs(quick=True)
+    print(f"  fmm {costs.fmm_per_point:.2e} s/pt, "
+          f"bie {costs.bie_per_node_iter:.2e} s/node/iter, "
+          f"col {costs.col_detect_per_vertex:.2e} s/vertex")
+
+    print("\n=== Fig. 4: strong scaling, 40,960 RBCs, SKX ===")
+    print(format_table(strong_scaling_table(costs=costs)))
+    print("paper efficiencies:        1.00  0.98  0.86  0.75  0.63  0.49")
+    print("paper COL+BIE efficiencies:1.00  1.05  0.93  0.82  0.77  0.66")
+
+    print("\n=== Fig. 5: weak scaling, 4096 RBC + 8192 patches/node, SKX ===")
+    print(format_table(weak_scaling_table(costs=costs), weak=True))
+    print("paper efficiencies:      -  1.00  0.88  0.81  0.71")
+
+    print("\n=== Fig. 6: weak scaling, 512 RBC + 1024 patches/node, KNL ===")
+    rows = weak_scaling_table(machine=KNL, rbc_per_node=512,
+                              patches_per_node=1024,
+                              node_counts=(2, 8, 32, 128, 512),
+                              volume_fractions=(0.17, 0.19, 0.20, 0.23, 0.26),
+                              collision_fractions=(0.10, 0.15, 0.13, 0.17, 0.15),
+                              ref_index=0, costs=costs)
+    print(format_table(rows, weak=True))
+    print("paper efficiencies:   1.00  0.86  0.73  0.57  0.47")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Gravity sedimentation at high volume fraction (mini paper Fig. 7).
+
+Cells denser than the ambient fluid settle inside a closed capsule; the
+collision solver keeps the packing interference-free as the lower region
+crowds up. Reports the lower-half volume fraction over time, the paper's
+Fig. 7 observable (47% global -> ~55% local there).
+
+Run:  python examples/sedimentation.py
+"""
+import numpy as np
+
+from repro.config import NumericsOptions
+from repro.core import Simulation, SimulationConfig
+from repro.patches import capsule_tube
+from repro.vessel import fill_with_rbcs
+
+
+def main() -> None:
+    opts = NumericsOptions(patch_quad=7, check_order=4, upsample_eta=1,
+                           check_r_factor=0.25, gmres_max_iter=10)
+    container = capsule_tube(length=7.0, radius=1.6, refine=0, options=opts)
+
+    def sd(pts):
+        z = np.clip(pts[:, 2], -1.9, 1.9)
+        ax = np.column_stack([np.zeros(len(pts)), np.zeros(len(pts)), z])
+        return np.linalg.norm(pts - ax, axis=1) - 1.6
+
+    fill = fill_with_rbcs(sd, (np.array([-1.6, -1.6, -3.5]),
+                               np.array([1.6, 1.6, 3.5])), spacing=1.3,
+                          lumen_volume=container.volume(), order=5,
+                          shape="sphere", seed=4)
+    print(f"{fill.n_cells} cells at global volume fraction "
+          f"{fill.volume_fraction * 100:.1f}%")
+
+    cfg = SimulationConfig(dt=0.08, gravity=(1.5, (0.0, 0.0, -1.0)),
+                           numerics=opts, bending_modulus=0.02)
+    sim = Simulation(fill.cells, vessel=container, config=cfg)
+    lower_half = container.volume() / 2.0
+
+    def lower_fraction():
+        return sum(c.volume() for c in sim.cells
+                   if c.centroid()[2] < 0.0) / lower_half
+
+    print(f"\n{'t':>5} {'mean z':>8} {'lower-half vf':>14} {'contacts':>9}")
+    for _ in range(4):
+        rep = sim.step()
+        nc = rep.ncp.n_components if rep.ncp else 0
+        print(f"{sim.t:>5.2f} {sim.centroids()[:, 2].mean():>8.3f} "
+              f"{lower_fraction() * 100:>13.1f}% {nc:>9}")
+    print("\ncells settle; the lower region's packing fraction rises "
+          "(paper Fig. 7 behaviour).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""repro — boundary-integral simulation of red blood cell flows through
+vascular networks.
+
+A from-scratch Python reproduction of "Scalable Simulation of Realistic
+Volume Fraction Red Blood Cell Flows through Vascular Networks" (Lu,
+Morse, Rahimian, Stadler, Zorin — SC '19). See DESIGN.md for the system
+inventory and EXPERIMENTS.md for the paper-vs-measured record.
+
+Public API highlights
+---------------------
+- :class:`repro.core.Simulation` — the simulation platform.
+- :class:`repro.bie.BoundarySolver` — the parallel boundary solver
+  (paper Sec. 3).
+- :class:`repro.collision.NCPSolver` — contact-free time stepping
+  (paper Sec. 4).
+- :mod:`repro.vessel` — vascular geometry, boundary conditions, the RBC
+  filling algorithm.
+- :mod:`repro.scaling` — machine models and the strong/weak scaling
+  harness that regenerates the paper's Figs. 4-6.
+"""
+from . import config
+from .config import NumericsOptions
+
+__version__ = "1.0.0"
+
+__all__ = ["config", "NumericsOptions", "__version__"]

@@ -1,0 +1,18 @@
+"""The parallel boundary solver for elliptic PDEs (paper Section 3).
+
+:class:`BoundarySolver` discretizes the second-kind boundary integral
+equation (paper Eq. (2.5) / Eq. (3.5))
+
+    ``(1/2 I + D + N) phi = g``     on Gamma,
+
+with a Nystrom method on the coarse per-patch Clenshaw-Curtis nodes. The
+singular/near-singular quadrature follows Fig. 2 of the paper: upsample the
+density to the fine discretization, evaluate the smooth rule at check
+points placed along the (inward) normal, and extrapolate back to the
+target. The operator is applied matrix-free inside GMRES (matrix assembly
+is never required); the far-field evaluation can run through the direct
+vectorized kernels or the kernel-independent FMM of :mod:`repro.fmm`.
+"""
+from .solver import BoundarySolver, BIESolveReport
+
+__all__ = ["BoundarySolver", "BIESolveReport"]

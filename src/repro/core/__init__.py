@@ -1,0 +1,21 @@
+"""The simulation platform (paper Sec. 2.2, "Algorithm summary").
+
+:class:`Simulation` couples all subsystems: spectral RBCs with bending /
+tension forces, the boundary solver for the vessel, the explicit
+inter-cell interaction pipeline (steps 1a-1e), the locally-implicit
+per-cell update (step 2), and the contact projection (NCP). Component
+wall-times are accumulated in the same categories the paper reports
+(COL, BIE-solve, BIE-FMM, Other-FMM, Other) so the scaling harness can
+regenerate Figs. 4-6.
+"""
+from .timers import ComponentTimers
+from .stepper import TimeStepper, StepReport
+from .simulation import Simulation, SimulationConfig
+
+__all__ = [
+    "ComponentTimers",
+    "TimeStepper",
+    "StepReport",
+    "Simulation",
+    "SimulationConfig",
+]

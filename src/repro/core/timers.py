@@ -1,0 +1,47 @@
+"""Component wall-time accounting in the paper's categories.
+
+Paper Sec. 5.2 decomposes time into COL (collision detection/resolution),
+BIE-solve (computing u_Gamma excluding FMM calls), BIE-FMM (FMM calls for
+u_Gamma), Other-FMM (FMM calls of other algorithms) and Other.
+"""
+from __future__ import annotations
+
+import contextlib
+import time
+from collections import defaultdict
+
+CATEGORIES = ("COL", "BIE-solve", "BIE-FMM", "Other-FMM", "Other")
+
+
+class ComponentTimers:
+    """Accumulates seconds per category; nested scopes attribute time to
+    the innermost category."""
+
+    def __init__(self) -> None:
+        self.seconds: dict[str, float] = defaultdict(float)
+        self._stack: list[str] = []
+
+    @contextlib.contextmanager
+    def scope(self, category: str):
+        if category not in CATEGORIES:
+            raise ValueError(f"unknown category {category!r}")
+        start = time.perf_counter()
+        self._stack.append(category)
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._stack.pop()
+            self.seconds[category] += elapsed
+            # subtract from the enclosing scope so categories are exclusive
+            if self._stack:
+                self.seconds[self._stack[-1]] -= elapsed
+
+    def total(self) -> float:
+        return sum(self.seconds.values())
+
+    def breakdown(self) -> dict[str, float]:
+        return {c: self.seconds.get(c, 0.0) for c in CATEGORIES}
+
+    def reset(self) -> None:
+        self.seconds.clear()

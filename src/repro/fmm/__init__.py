@@ -1,0 +1,24 @@
+"""Kernel-independent fast summation (PVFMM substitute, S3 in DESIGN.md).
+
+The paper evaluates all global integrals with PVFMM [26, 27]. Here the
+same role is played by a pure-numpy *kernel-independent treecode*: an
+adaptive octree is built over the sources; each box carries an equivalent
+density on a cube check surface fitted by regularized least squares (the
+KIFMM upward pass: P2M at leaves, M2M up the tree); a target evaluates
+well-separated boxes through their equivalent sources (multipole
+acceptance criterion) and near boxes directly. Complexity O(N log N)
+with accuracy set by the equivalent-surface resolution, verified against
+the direct O(N^2) sums in the tests. The Stokes and Laplace single and
+double layers are all supported through the same machinery — kernel
+independence is the point of the method.
+"""
+from .octree import Octree, OctreeNode
+from .treecode import KernelIndependentTreecode, stokes_slp_fmm, laplace_slp_fmm
+
+__all__ = [
+    "Octree",
+    "OctreeNode",
+    "KernelIndependentTreecode",
+    "stokes_slp_fmm",
+    "laplace_slp_fmm",
+]

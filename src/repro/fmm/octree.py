@@ -1,0 +1,82 @@
+"""Adaptive point octree in Morton order."""
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+
+@dataclasses.dataclass
+class OctreeNode:
+    """One box: cube of half-width ``half`` centered at ``center``.
+
+    ``indices`` holds the source indices of leaves; internal nodes store
+    children ids. ``equiv`` is filled by the upward pass of the treecode.
+    """
+
+    center: np.ndarray
+    half: float
+    level: int
+    indices: Optional[np.ndarray]
+    children: list[int]
+    parent: int
+    equiv: Optional[np.ndarray] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+class Octree:
+    """Adaptive octree over a point cloud (leaf capacity bound)."""
+
+    def __init__(self, points: np.ndarray, max_leaf: int = 64,
+                 max_level: int = 12):
+        pts = np.atleast_2d(np.asarray(points, float))
+        self.points = pts
+        lo = pts.min(axis=0)
+        hi = pts.max(axis=0)
+        center = 0.5 * (lo + hi)
+        half = 0.5 * float((hi - lo).max()) * 1.0000001 + 1e-12
+        self.nodes: list[OctreeNode] = [OctreeNode(
+            center=center, half=half, level=0,
+            indices=np.arange(pts.shape[0]), children=[], parent=-1)]
+        self.max_leaf = int(max_leaf)
+        self.max_level = int(max_level)
+        self._build(0)
+
+    def _build(self, nid: int) -> None:
+        node = self.nodes[nid]
+        idx = node.indices
+        if idx.size <= self.max_leaf or node.level >= self.max_level:
+            return
+        pts = self.points[idx]
+        oct_id = ((pts[:, 0] > node.center[0]).astype(int) << 2 |
+                  (pts[:, 1] > node.center[1]).astype(int) << 1 |
+                  (pts[:, 2] > node.center[2]).astype(int))
+        node.indices = None
+        qh = 0.5 * node.half
+        for o in range(8):
+            sel = idx[oct_id == o]
+            if sel.size == 0:
+                continue
+            off = np.array([qh if (o >> 2) & 1 else -qh,
+                            qh if (o >> 1) & 1 else -qh,
+                            qh if o & 1 else -qh])
+            cid = len(self.nodes)
+            self.nodes.append(OctreeNode(center=node.center + off, half=qh,
+                                         level=node.level + 1, indices=sel,
+                                         children=[], parent=nid))
+            node.children.append(cid)
+            self._build(cid)
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    def leaves(self) -> list[int]:
+        return [i for i, n in enumerate(self.nodes) if n.is_leaf]
+
+    def depth(self) -> int:
+        return max(n.level for n in self.nodes)

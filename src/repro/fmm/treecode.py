@@ -1,0 +1,191 @@
+"""Kernel-independent equivalent-density treecode.
+
+Upward pass: every box replaces its sources by an *equivalent density* on
+a cube surface around it, fitted so that the field matches on a larger
+check surface (Tikhonov-regularized least squares, the KIFMM recipe of
+Ying/Biros/Zorin that PVFMM implements). M2M promotes child equivalents
+to the parent. Evaluation: a target descends the tree; boxes satisfying
+the multipole acceptance criterion (target far from the box relative to
+its size) are evaluated through their ~O(p^2) equivalent sources, others
+are opened, leaves are evaluated directly.
+"""
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Callable, Literal
+
+import numpy as np
+
+from ..kernels import (
+    laplace_slp_apply,
+    laplace_slp_matrix,
+    stokes_slp_apply,
+    stokes_slp_matrix,
+    stokes_dlp_apply,
+)
+from .octree import Octree
+
+KernelName = Literal["stokes_slp", "laplace_slp"]
+
+#: Relative radii of the equivalent and check surfaces (KIFMM convention:
+#: the equivalent surface sits just outside the box, the check surface
+#: further out).
+_EQUIV_RADIUS = 1.3
+_CHECK_RADIUS = 2.6
+
+
+@lru_cache(maxsize=8)
+def _cube_surface(e: int) -> np.ndarray:
+    """e x e points per face of the unit cube surface, shape (m, 3)."""
+    t = np.linspace(-1.0, 1.0, e)
+    pts = []
+    for axis in range(3):
+        for sign in (-1.0, 1.0):
+            A, B = np.meshgrid(t, t, indexing="ij")
+            face = np.empty((e * e, 3))
+            face[:, axis] = sign
+            others = [k for k in range(3) if k != axis]
+            face[:, others[0]] = A.ravel()
+            face[:, others[1]] = B.ravel()
+            pts.append(face)
+    pts = np.unique(np.round(np.vstack(pts), 12), axis=0)
+    return pts
+
+
+def _fit_operator(kernel: KernelName, e: int, viscosity: float) -> np.ndarray:
+    """Pseudo-inverse mapping check-surface values -> equivalent density
+    at unit scale (both kernels are homogeneous of degree -1, so the
+    operator rescales by the box size at apply time)."""
+    eq = _EQUIV_RADIUS * _cube_surface(e)
+    ck = _CHECK_RADIUS * _cube_surface(e)
+    if kernel == "stokes_slp":
+        M = stokes_slp_matrix(eq, ck, viscosity)
+    else:
+        M = laplace_slp_matrix(eq, ck)
+    U, s, Vt = np.linalg.svd(M, full_matrices=False)
+    cutoff = s[0] * 1e-9
+    sinv = np.where(s > cutoff, 1.0 / s, 0.0)
+    return (Vt.T * sinv) @ U.T
+
+
+class KernelIndependentTreecode:
+    """Fast summation of weighted single-layer sources.
+
+    Parameters
+    ----------
+    sources, weighted_density:
+        Source points and their weighted densities ((n,3) for Stokes,
+        (n,) for Laplace).
+    kernel:
+        ``"stokes_slp"`` or ``"laplace_slp"``.
+    equiv_points_per_edge:
+        Resolution of the equivalent surface (accuracy knob).
+    mac:
+        Multipole acceptance: a box is used in far form when
+        ``dist(target, box center) >= mac * box_half_width``.
+    """
+
+    def __init__(self, sources: np.ndarray, weighted_density: np.ndarray,
+                 kernel: KernelName = "stokes_slp", viscosity: float = 1.0,
+                 max_leaf: int = 128, equiv_points_per_edge: int = 5,
+                 mac: float = 3.0):
+        self.kernel: KernelName = kernel
+        self.viscosity = viscosity
+        self.mac = float(mac)
+        self.sources = np.atleast_2d(np.asarray(sources, float))
+        den = np.asarray(weighted_density, float)
+        self.ncomp = 3 if kernel == "stokes_slp" else 1
+        self.density = den.reshape(self.sources.shape[0], self.ncomp) \
+            if self.ncomp == 3 else den.reshape(-1, 1)
+        self.tree = Octree(self.sources, max_leaf=max_leaf)
+        self.e = int(equiv_points_per_edge)
+        self._surf = _cube_surface(self.e)
+        self._fit = _fit_operator(kernel, self.e, viscosity)
+        self.stats = {"p2p": 0, "m2p": 0}
+        self._upward()
+
+    # -- upward pass ---------------------------------------------------------
+    def _box_eval(self, src: np.ndarray, den: np.ndarray,
+                  trg: np.ndarray) -> np.ndarray:
+        if self.kernel == "stokes_slp":
+            return stokes_slp_apply(src, den, trg, self.viscosity)
+        return laplace_slp_apply(src, den.ravel(), trg)[:, None]
+
+    def _equiv_points(self, node) -> np.ndarray:
+        return node.center + (_EQUIV_RADIUS * node.half) * self._surf
+
+    def _check_points(self, node) -> np.ndarray:
+        return node.center + (_CHECK_RADIUS * node.half) * self._surf
+
+    def _upward(self) -> None:
+        order = sorted(range(self.tree.n_nodes),
+                       key=lambda i: -self.tree.nodes[i].level)
+        for nid in order:
+            node = self.tree.nodes[nid]
+            ck = self._check_points(node)
+            if node.is_leaf:
+                vals = self._box_eval(self.sources[node.indices],
+                                      self.density[node.indices], ck)
+            else:
+                vals = np.zeros((ck.shape[0], self.ncomp))
+                for cid in node.children:
+                    child = self.tree.nodes[cid]
+                    vals += self._box_eval(self._equiv_points(child),
+                                           child.equiv, ck)
+            # Homogeneity of degree -1: the unit-scale fit operator solves
+            # M_unit q = v; at box scale s the kernel matrix is M_unit / s,
+            # so q_s = s * (fit @ v).
+            s = node.half
+            equiv = s * (self._fit @ vals.reshape(-1)).reshape(-1, self.ncomp)
+            node.equiv = equiv
+
+    # -- evaluation -------------------------------------------------------------
+    def evaluate(self, targets: np.ndarray) -> np.ndarray:
+        """Potential at arbitrary targets (self-pairs at distance 0 are
+        skipped by the kernels)."""
+        targets = np.atleast_2d(np.asarray(targets, float))
+        out = np.zeros((targets.shape[0], self.ncomp))
+        self._descend(0, targets, np.arange(targets.shape[0]), out)
+        return out if self.ncomp > 1 else out.ravel()
+
+    def _descend(self, nid: int, targets: np.ndarray,
+                 tidx: np.ndarray, out: np.ndarray) -> None:
+        if tidx.size == 0:
+            return
+        node = self.tree.nodes[nid]
+        d = np.linalg.norm(targets[tidx] - node.center, axis=1)
+        far = d >= self.mac * node.half
+        far_idx = tidx[far]
+        near_idx = tidx[~far]
+        if far_idx.size:
+            vals = self._box_eval(self._equiv_points(node), node.equiv,
+                                  targets[far_idx])
+            out[far_idx] += vals
+            self.stats["m2p"] += far_idx.size * self._surf.shape[0]
+        if near_idx.size:
+            if node.is_leaf:
+                vals = self._box_eval(self.sources[node.indices],
+                                      self.density[node.indices],
+                                      targets[near_idx])
+                out[near_idx] += vals
+                self.stats["p2p"] += near_idx.size * node.indices.size
+            else:
+                for cid in node.children:
+                    self._descend(cid, targets, near_idx, out)
+
+
+def stokes_slp_fmm(src: np.ndarray, weighted_density: np.ndarray,
+                   trg: np.ndarray, viscosity: float = 1.0,
+                   **kwargs) -> np.ndarray:
+    """Drop-in fast replacement for :func:`repro.kernels.stokes_slp_apply`."""
+    tc = KernelIndependentTreecode(src, weighted_density, "stokes_slp",
+                                   viscosity, **kwargs)
+    return tc.evaluate(trg)
+
+
+def laplace_slp_fmm(src: np.ndarray, weighted_density: np.ndarray,
+                    trg: np.ndarray, **kwargs) -> np.ndarray:
+    """Drop-in fast replacement for :func:`repro.kernels.laplace_slp_apply`."""
+    tc = KernelIndependentTreecode(src, weighted_density, "laplace_slp",
+                                   **kwargs)
+    return tc.evaluate(trg)

@@ -1,0 +1,43 @@
+"""Fundamental solutions (kernels) of the Stokes and Laplace operators.
+
+All evaluators are vectorized over sources and targets, chunked to bound
+peak memory, and take *weighted* densities (quadrature weight already folded
+in), matching how the Nystrom discretization assembles sums like Eq. (3.1)
+of the paper.
+
+Sign conventions (verified in ``tests/test_kernels.py``):
+
+- Single-layer Stokes (stokeslet): ``S(x,y) = (1/8 pi mu)(I/r + r r^T/r^3)``,
+  ``r = x - y``.
+- Double-layer Stokes (stresslet): ``D(x,y) = (6/8 pi)(r r^T/r^5)(r . n(y))``
+  with outward normal ``n``; the interior value of ``D[phi]`` for constant
+  ``phi`` is ``phi`` and the interior limit is ``(1/2) phi + PV``, which is
+  exactly the operator ``(1/2 I + D)`` of paper Eq. (2.5).
+- Laplace single/double layers use ``G = 1/(4 pi r)`` with the same
+  orientation conventions.
+"""
+from .stokes import (
+    stokes_slp_apply,
+    stokes_dlp_apply,
+    stokes_slp_matrix,
+    stokes_dlp_matrix,
+    stokes_pressure_slp_apply,
+)
+from .laplace import (
+    laplace_slp_apply,
+    laplace_dlp_apply,
+    laplace_slp_matrix,
+    laplace_dlp_matrix,
+)
+
+__all__ = [
+    "stokes_slp_apply",
+    "stokes_dlp_apply",
+    "stokes_slp_matrix",
+    "stokes_dlp_matrix",
+    "stokes_pressure_slp_apply",
+    "laplace_slp_apply",
+    "laplace_dlp_apply",
+    "laplace_slp_matrix",
+    "laplace_dlp_matrix",
+]

@@ -1,0 +1,128 @@
+"""Vectorized Stokes kernels (stokeslet / stresslet / pressure).
+
+The free-space solution u_fr of paper Eq. (2.4) and the double-layer term
+u_Gamma are sums of these kernels over quadrature points. The ``*_apply``
+functions evaluate those sums directly (the O(N^2) path used for modest
+sizes and as the FMM reference); the ``*_matrix`` functions assemble dense
+operators for the small per-patch / per-check-point blocks.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+_CHUNK = 1024
+
+
+def _pairwise_r(trg_chunk: np.ndarray, src: np.ndarray):
+    """r = x - y for all pairs; returns (r, r2) with a zero-distance guard."""
+    r = trg_chunk[:, None, :] - src[None, :, :]
+    r2 = np.einsum("tsk,tsk->ts", r, r)
+    return r, r2
+
+
+def stokes_slp_apply(src: np.ndarray, weighted_density: np.ndarray,
+                     trg: np.ndarray, viscosity: float = 1.0,
+                     exclude_self: bool = False) -> np.ndarray:
+    """Sum of stokeslets: u(x) = sum_j S(x, y_j) (w_j f_j).
+
+    ``weighted_density`` is (ns, 3) with quadrature weights folded in.
+    Pairs at zero distance contribute nothing (used with ``exclude_self``
+    semantics when sources and targets coincide).
+    """
+    src = np.asarray(src, float).reshape(-1, 3)
+    trg = np.asarray(trg, float).reshape(-1, 3)
+    f = np.asarray(weighted_density, float).reshape(-1, 3)
+    out = np.zeros((trg.shape[0], 3))
+    scale = 1.0 / (8.0 * np.pi * viscosity)
+    for a in range(0, trg.shape[0], _CHUNK):
+        t = trg[a:a + _CHUNK]
+        r, r2 = _pairwise_r(t, src)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            inv_r = 1.0 / np.sqrt(r2)
+        inv_r[~np.isfinite(inv_r)] = 0.0
+        inv_r3 = inv_r ** 3
+        rf = np.einsum("tsk,sk->ts", r, f)
+        out[a:a + _CHUNK] = scale * (
+            np.einsum("ts,sk->tk", inv_r, f)
+            + np.einsum("ts,tsk->tk", rf * inv_r3, r)
+        )
+    return out
+
+
+def stokes_dlp_apply(src: np.ndarray, normals: np.ndarray,
+                     weighted_density: np.ndarray, trg: np.ndarray) -> np.ndarray:
+    """Sum of stresslets: u(x) = sum_j D(x, y_j)[n_j] (w_j phi_j).
+
+    Kernel: (6/8pi) r (r.phi) (r.n) / r^5 with r = x - y.
+    """
+    src = np.asarray(src, float).reshape(-1, 3)
+    trg = np.asarray(trg, float).reshape(-1, 3)
+    n = np.asarray(normals, float).reshape(-1, 3)
+    phi = np.asarray(weighted_density, float).reshape(-1, 3)
+    out = np.zeros((trg.shape[0], 3))
+    scale = -6.0 / (8.0 * np.pi)
+    for a in range(0, trg.shape[0], _CHUNK):
+        t = trg[a:a + _CHUNK]
+        r, r2 = _pairwise_r(t, src)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            inv_r2 = 1.0 / r2
+        inv_r2[~np.isfinite(inv_r2)] = 0.0
+        inv_r5 = inv_r2 ** 2 * np.sqrt(inv_r2)
+        rphi = np.einsum("tsk,sk->ts", r, phi)
+        rn = np.einsum("tsk,sk->ts", r, n)
+        out[a:a + _CHUNK] = scale * np.einsum("ts,tsk->tk", rphi * rn * inv_r5, r)
+    return out
+
+
+def stokes_pressure_slp_apply(src: np.ndarray, weighted_density: np.ndarray,
+                              trg: np.ndarray) -> np.ndarray:
+    """Pressure of the single-layer potential: p(x) = sum (r.f) / (4 pi r^3)."""
+    src = np.asarray(src, float).reshape(-1, 3)
+    trg = np.asarray(trg, float).reshape(-1, 3)
+    f = np.asarray(weighted_density, float).reshape(-1, 3)
+    out = np.zeros(trg.shape[0])
+    for a in range(0, trg.shape[0], _CHUNK):
+        t = trg[a:a + _CHUNK]
+        r, r2 = _pairwise_r(t, src)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            inv_r3 = r2 ** -1.5
+        inv_r3[~np.isfinite(inv_r3)] = 0.0
+        rf = np.einsum("tsk,sk->ts", r, f)
+        out[a:a + _CHUNK] = (rf * inv_r3).sum(axis=1) / (4.0 * np.pi)
+    return out
+
+
+def stokes_slp_matrix(src: np.ndarray, trg: np.ndarray,
+                      viscosity: float = 1.0) -> np.ndarray:
+    """Dense (3 nt, 3 ns) stokeslet matrix (no weights folded in)."""
+    src = np.asarray(src, float).reshape(-1, 3)
+    trg = np.asarray(trg, float).reshape(-1, 3)
+    nt, ns = trg.shape[0], src.shape[0]
+    r = trg[:, None, :] - src[None, :, :]
+    r2 = np.einsum("tsk,tsk->ts", r, r)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        inv_r = 1.0 / np.sqrt(r2)
+    inv_r[~np.isfinite(inv_r)] = 0.0
+    inv_r3 = inv_r ** 3
+    M = np.einsum("ts,ij->tisj", inv_r, np.eye(3)) + \
+        np.einsum("tsi,tsj,ts->tisj", r, r, inv_r3)
+    M *= 1.0 / (8.0 * np.pi * viscosity)
+    return M.reshape(3 * nt, 3 * ns)
+
+
+def stokes_dlp_matrix(src: np.ndarray, normals: np.ndarray,
+                      trg: np.ndarray) -> np.ndarray:
+    """Dense (3 nt, 3 ns) stresslet matrix (normals folded, no weights)."""
+    src = np.asarray(src, float).reshape(-1, 3)
+    trg = np.asarray(trg, float).reshape(-1, 3)
+    n = np.asarray(normals, float).reshape(-1, 3)
+    nt, ns = trg.shape[0], src.shape[0]
+    r = trg[:, None, :] - src[None, :, :]
+    r2 = np.einsum("tsk,tsk->ts", r, r)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        inv_r2 = 1.0 / r2
+    inv_r2[~np.isfinite(inv_r2)] = 0.0
+    inv_r5 = inv_r2 ** 2 * np.sqrt(inv_r2)
+    rn = np.einsum("tsk,sk->ts", r, n)
+    M = np.einsum("tsi,tsj,ts->tisj", r, r, rn * inv_r5) * (-6.0 / (8.0 * np.pi))
+    return M.reshape(3 * nt, 3 * ns)

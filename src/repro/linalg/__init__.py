@@ -1,0 +1,10 @@
+"""Dense-free linear algebra used throughout the solver.
+
+The paper relies on PETSc's GMRES; here we provide our own restarted GMRES
+(:func:`repro.linalg.gmres.gmres`) with the iteration-cap semantics of
+Section 5.1 of the paper, plus small helpers for block vector layouts.
+"""
+from .gmres import GMRESResult, gmres
+from .blocks import flatten_fields, unflatten_fields
+
+__all__ = ["gmres", "GMRESResult", "flatten_fields", "unflatten_fields"]

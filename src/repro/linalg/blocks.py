@@ -1,0 +1,40 @@
+"""Helpers for flattening collections of per-cell field arrays.
+
+The time stepper and contact solver treat the global state as one long
+vector (as PETSc would), while the physics modules want per-cell
+``(n_points, 3)`` arrays. These helpers convert between the two layouts
+without copying more than necessary.
+"""
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def flatten_fields(fields: Sequence[np.ndarray]) -> tuple[np.ndarray, list[tuple[int, ...]]]:
+    """Concatenate arrays into one 1-D vector, remembering shapes.
+
+    Returns the flat vector and the list of original shapes needed by
+    :func:`unflatten_fields`.
+    """
+    shapes = [tuple(f.shape) for f in fields]
+    if not fields:
+        return np.zeros(0), shapes
+    flat = np.concatenate([np.asarray(f, dtype=float).ravel() for f in fields])
+    return flat, shapes
+
+
+def unflatten_fields(flat: np.ndarray, shapes: Sequence[tuple[int, ...]]) -> list[np.ndarray]:
+    """Inverse of :func:`flatten_fields`."""
+    out: list[np.ndarray] = []
+    offset = 0
+    for shape in shapes:
+        size = int(np.prod(shape)) if shape else 1
+        out.append(np.asarray(flat[offset:offset + size]).reshape(shape))
+        offset += size
+    if offset != flat.size:
+        raise ValueError(
+            f"flat vector of size {flat.size} does not match shapes totalling {offset}"
+        )
+    return out

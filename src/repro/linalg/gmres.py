@@ -1,0 +1,165 @@
+"""Restarted GMRES with iteration capping.
+
+The boundary integral operator of Eq. (2.5) is well conditioned (second-kind
+Fredholm), so GMRES converges in a few dozen iterations; the paper caps the
+iteration count at 30 to emulate the typical per-time-step work. We implement
+GMRES directly (rather than wrapping :func:`scipy.sparse.linalg.gmres`) so
+that the cap, the residual history and the matvec counter are first-class.
+"""
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+Matvec = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclasses.dataclass
+class GMRESResult:
+    """Outcome of a :func:`gmres` solve.
+
+    ``x`` is the final iterate, ``residuals`` the relative residual history
+    (one entry per inner iteration, starting with the initial residual),
+    ``iterations`` the total number of inner iterations performed,
+    ``converged`` whether the tolerance was met before hitting the cap, and
+    ``matvecs`` the number of operator applications.
+    """
+
+    x: np.ndarray
+    residuals: list[float]
+    iterations: int
+    converged: bool
+    matvecs: int
+
+    @property
+    def final_residual(self) -> float:
+        return self.residuals[-1]
+
+
+def gmres(
+    matvec: Matvec,
+    b: np.ndarray,
+    x0: Optional[np.ndarray] = None,
+    tol: float = 1e-10,
+    max_iter: int = 30,
+    restart: Optional[int] = None,
+    callback: Optional[Callable[[int, float], None]] = None,
+) -> GMRESResult:
+    """Solve ``A x = b`` where ``A`` is given only through ``matvec``.
+
+    Parameters
+    ----------
+    matvec:
+        Function applying the (square) operator to a 1-D vector.
+    b:
+        Right-hand side, 1-D.
+    x0:
+        Initial guess (defaults to zero).
+    tol:
+        Relative residual tolerance ``||b - A x|| <= tol * ||b||``.
+    max_iter:
+        Hard cap on the total number of inner iterations; the paper uses 30.
+    restart:
+        Restart length; ``None`` means no restart (full GMRES up to the cap).
+    callback:
+        Called as ``callback(k, relres)`` after each inner iteration.
+    """
+    b = np.asarray(b, dtype=float).ravel()
+    n = b.size
+    if restart is None or restart > max_iter:
+        restart = max_iter
+    restart = max(1, int(restart))
+
+    x = np.zeros(n) if x0 is None else np.array(x0, dtype=float).ravel().copy()
+    bnorm = np.linalg.norm(b)
+    if bnorm == 0.0:
+        return GMRESResult(x=np.zeros(n), residuals=[0.0], iterations=0,
+                           converged=True, matvecs=0)
+
+    matvecs = 0
+    residuals: list[float] = []
+    total_iters = 0
+
+    r = b - (matvec(x) if x.any() else 0.0 * b)
+    if x.any():
+        matvecs += 1
+    relres = np.linalg.norm(r) / bnorm
+    residuals.append(float(relres))
+    if relres <= tol:
+        return GMRESResult(x=x, residuals=residuals, iterations=0,
+                           converged=True, matvecs=matvecs)
+
+    while total_iters < max_iter:
+        m = min(restart, max_iter - total_iters)
+        # Arnoldi basis and Hessenberg factor.
+        Q = np.zeros((n, m + 1))
+        H = np.zeros((m + 1, m))
+        cs = np.zeros(m)
+        sn = np.zeros(m)
+        beta = np.linalg.norm(r)
+        Q[:, 0] = r / beta
+        g = np.zeros(m + 1)
+        g[0] = beta
+
+        k_used = 0
+        breakdown = False
+        for k in range(m):
+            # Copy defensively: a matvec may return (a view of) its input.
+            w = np.array(matvec(Q[:, k]), dtype=float)
+            matvecs += 1
+            # Modified Gram-Schmidt.
+            for j in range(k + 1):
+                H[j, k] = Q[:, j] @ w
+                w -= H[j, k] * Q[:, j]
+            H[k + 1, k] = np.linalg.norm(w)
+            if H[k + 1, k] > 1e-300:
+                Q[:, k + 1] = w / H[k + 1, k]
+            else:
+                breakdown = True
+            # Apply accumulated Givens rotations to the new column.
+            for j in range(k):
+                h0 = cs[j] * H[j, k] + sn[j] * H[j + 1, k]
+                h1 = -sn[j] * H[j, k] + cs[j] * H[j + 1, k]
+                H[j, k], H[j + 1, k] = h0, h1
+            denom = np.hypot(H[k, k], H[k + 1, k])
+            if denom == 0.0:
+                cs[k], sn[k] = 1.0, 0.0
+            else:
+                cs[k] = H[k, k] / denom
+                sn[k] = H[k + 1, k] / denom
+            H[k, k] = cs[k] * H[k, k] + sn[k] * H[k + 1, k]
+            H[k + 1, k] = 0.0
+            g[k + 1] = -sn[k] * g[k]
+            g[k] = cs[k] * g[k]
+
+            k_used = k + 1
+            total_iters += 1
+            relres = abs(g[k + 1]) / bnorm
+            residuals.append(float(relres))
+            if callback is not None:
+                callback(total_iters, float(relres))
+            if relres <= tol or breakdown:
+                break
+
+        # Solve the small triangular system and update x.
+        if k_used > 0:
+            y = np.zeros(k_used)
+            for i in range(k_used - 1, -1, -1):
+                y[i] = (g[i] - H[i, i + 1:k_used] @ y[i + 1:k_used]) / H[i, i]
+            x = x + Q[:, :k_used] @ y
+
+        r = b - matvec(x)
+        matvecs += 1
+        relres = np.linalg.norm(r) / bnorm
+        residuals[-1] = float(relres)
+        if relres <= tol:
+            return GMRESResult(x=x, residuals=residuals,
+                               iterations=total_iters, converged=True,
+                               matvecs=matvecs)
+        if breakdown:
+            break
+
+    return GMRESResult(x=x, residuals=residuals, iterations=total_iters,
+                       converged=relres <= tol, matvecs=matvecs)

@@ -1,0 +1,127 @@
+"""Closest-point search on patch surfaces (paper Sec. 3.3, step d).
+
+Given a target ``x``, minimize ``|x - P_i(u, v)|`` over ``(u, v) in
+[-1,1]^2`` with Newton's method plus backtracking line search, seeded from
+the nearest quadrature sample; candidate patches come from the spatial-hash
+broad phase in :mod:`repro.runtime.spatial_hash` (or brute force for the
+serial path here).
+"""
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .patch import ChebPatch
+from .surface import PatchSurface
+
+
+@dataclasses.dataclass
+class ClosestPointResult:
+    """Result of a closest-point query against one surface."""
+
+    patch_index: int
+    uv: np.ndarray
+    point: np.ndarray
+    distance: float
+    normal: np.ndarray
+    #: patch size L of the owning patch (sets the check-point scale).
+    patch_size: float
+
+
+def closest_point_on_patch(patch: ChebPatch, x: np.ndarray,
+                           uv0: Optional[np.ndarray] = None,
+                           iters: int = 30, tol: float = 1e-12
+                           ) -> tuple[np.ndarray, np.ndarray, float]:
+    """Newton + backtracking minimization of |x - P(u,v)| on one patch.
+
+    The parameters are clamped to [-1, 1]^2 (the minimum may be on the
+    patch edge; the neighboring patch then yields the true closest point,
+    which the surface-level search accounts for by examining several
+    candidate patches). Returns (uv, point, distance).
+    """
+    x = np.asarray(x, float)
+    if uv0 is None:
+        # Seed from a coarse parameter sampling.
+        t = np.linspace(-1.0, 1.0, patch.n)
+        U, V = np.meshgrid(t, t, indexing="ij")
+        uv_s = np.column_stack([U.ravel(), V.ravel()])
+        pts = patch.evaluate(uv_s)
+        uv = uv_s[np.argmin(np.einsum("nk,nk->n", pts - x, pts - x))].copy()
+    else:
+        uv = np.asarray(uv0, float).copy()
+
+    def fval(uv_):
+        p = patch.evaluate(uv_[None, :])[0]
+        return 0.5 * float(np.sum((p - x) ** 2))
+
+    f0 = fval(uv)
+    for _ in range(iters):
+        X, Xu, Xv, Xuu, Xuv, Xvv = patch.derivatives(uv[None, :], second=True)
+        r = X[0] - x
+        g = np.array([r @ Xu[0], r @ Xv[0]])
+        H = np.array([
+            [Xu[0] @ Xu[0] + r @ Xuu[0], Xu[0] @ Xv[0] + r @ Xuv[0]],
+            [Xu[0] @ Xv[0] + r @ Xuv[0], Xv[0] @ Xv[0] + r @ Xvv[0]],
+        ])
+        # Guard indefinite Hessians with a gradient-descent fallback.
+        try:
+            step = np.linalg.solve(H, g)
+            if step @ g <= 0:
+                step = g
+        except np.linalg.LinAlgError:
+            step = g
+        t = 1.0
+        improved = False
+        for _ in range(25):
+            cand = np.clip(uv - t * step, -1.0, 1.0)
+            fc = fval(cand)
+            if fc < f0 - 1e-16:
+                uv, f0 = cand, fc
+                improved = True
+                break
+            t *= 0.5
+        if not improved or np.linalg.norm(t * step) < tol:
+            break
+    p = patch.evaluate(uv[None, :])[0]
+    return uv, p, float(np.linalg.norm(p - x))
+
+
+def surface_closest_point(surface: PatchSurface, x: np.ndarray,
+                          candidates: Optional[Sequence[int]] = None,
+                          n_candidates: int = 4) -> ClosestPointResult:
+    """Closest point on a whole patch surface.
+
+    ``candidates`` restricts the search to given patch indices (as supplied
+    by the parallel spatial-hash filter); otherwise the few patches whose
+    coarse nodes are nearest are refined with Newton.
+    """
+    x = np.asarray(x, float)
+    d = surface.coarse()
+    if candidates is None:
+        d2 = np.einsum("nk,nk->n", d.points - x, d.points - x)
+        # Best patches by their closest coarse node.
+        order = np.argsort(d2)
+        cand: list[int] = []
+        for idx in order:
+            pid = int(d.patch_of[idx])
+            if pid not in cand:
+                cand.append(pid)
+            if len(cand) >= n_candidates:
+                break
+    else:
+        cand = list(candidates)
+
+    best: Optional[ClosestPointResult] = None
+    L = surface.patch_sizes()
+    for pid in cand:
+        patch = surface.patches[pid]
+        uv, p, dist = closest_point_on_patch(patch, x)
+        if best is None or dist < best.distance:
+            nrm = patch.normals(uv[None, :])[0]
+            best = ClosestPointResult(patch_index=pid, uv=uv, point=p,
+                                      distance=dist, normal=nrm,
+                                      patch_size=float(L[pid]))
+    assert best is not None
+    return best

@@ -1,0 +1,138 @@
+"""A boundary surface assembled from polynomial patches.
+
+:class:`PatchSurface` caches the concatenated coarse discretization
+(quadrature nodes/weights/normals over all patches, paper Eq. (3.1)), the
+fine discretization used by the singular quadrature (each patch split into
+4**eta subpatches with a q-point rule), the per-patch sizes L, and the
+near-zone bounding boxes of Sec. 3.3.
+"""
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from ..config import NumericsOptions
+from .patch import ChebPatch
+
+
+@dataclasses.dataclass
+class _Discretization:
+    points: np.ndarray    # (N, 3)
+    weights: np.ndarray   # (N,)  includes area element
+    normals: np.ndarray   # (N, 3)
+    patch_of: np.ndarray  # (N,) patch index of each node
+
+
+class PatchSurface:
+    """An oriented closed surface given by non-overlapping patches."""
+
+    def __init__(self, patches: Sequence[ChebPatch],
+                 options: Optional[NumericsOptions] = None):
+        self.patches = list(patches)
+        if not self.patches:
+            raise ValueError("surface needs at least one patch")
+        self.options = options or NumericsOptions()
+        self._coarse: Optional[_Discretization] = None
+        self._fine: Optional[_Discretization] = None
+        self._sizes: Optional[np.ndarray] = None
+
+    @property
+    def n_patches(self) -> int:
+        return len(self.patches)
+
+    # -- discretizations ------------------------------------------------------
+    def coarse(self) -> _Discretization:
+        """The coarse discretization: q x q CC rule on every patch."""
+        if self._coarse is None:
+            self._coarse = self._discretize(self.patches, self.options.patch_quad,
+                                            np.arange(self.n_patches))
+        return self._coarse
+
+    def fine(self) -> _Discretization:
+        """The fine discretization: 4**eta subpatches per patch, each with
+        its own CC rule (paper Fig. 2 caption: eta such that 16 subpatches
+        with 11th-order rules in the reference setup)."""
+        if self._fine is None:
+            k = 2 ** self.options.upsample_eta
+            fine_patches: list[ChebPatch] = []
+            owners: list[int] = []
+            for i, p in enumerate(self.patches):
+                kids = p.subdivide(k)
+                fine_patches.extend(kids)
+                owners.extend([i] * len(kids))
+            self._fine = self._discretize(fine_patches, self.options.patch_quad,
+                                          np.asarray(owners))
+            self._fine_patches = fine_patches
+        return self._fine
+
+    @staticmethod
+    def _discretize(patches: Iterable[ChebPatch], q: int,
+                    owners: np.ndarray) -> _Discretization:
+        pts, wts, nms, own = [], [], [], []
+        for patch, owner in zip(patches, np.asarray(owners)):
+            X, w, n = patch.quadrature(q)
+            pts.append(X)
+            wts.append(w)
+            nms.append(n)
+            own.append(np.full(w.size, owner, dtype=int))
+        return _Discretization(points=np.concatenate(pts),
+                               weights=np.concatenate(wts),
+                               normals=np.concatenate(nms),
+                               patch_of=np.concatenate(own))
+
+    def nodes_per_patch(self) -> int:
+        return self.options.patch_quad ** 2
+
+    # -- geometry summaries -----------------------------------------------------
+    def patch_sizes(self) -> np.ndarray:
+        """L_i = sqrt(area of patch i) (paper Sec. 5.1)."""
+        if self._sizes is None:
+            self._sizes = np.array([p.size() for p in self.patches])
+        return self._sizes
+
+    def area(self) -> float:
+        return float(self.coarse().weights.sum())
+
+    def volume(self) -> float:
+        """Enclosed volume via the divergence theorem (orientation-aware)."""
+        d = self.coarse()
+        return float(np.einsum("nk,nk,n->", d.points, d.normals, d.weights)) / 3.0
+
+    def bounding_boxes(self, pad_factor: float = 0.0) -> tuple[np.ndarray, np.ndarray]:
+        """Per-patch AABBs inflated by ``pad_factor * L`` (the near-zone
+        boxes B_{P, eps} of Sec. 3.3). Returns (lo, hi) arrays (n_patches, 3)."""
+        L = self.patch_sizes()
+        lo = np.empty((self.n_patches, 3))
+        hi = np.empty((self.n_patches, 3))
+        for i, p in enumerate(self.patches):
+            lo[i], hi[i] = p.bounding_box(pad=pad_factor * L[i])
+        return lo, hi
+
+    def collision_points(self, m: Optional[int] = None) -> tuple[np.ndarray, np.ndarray]:
+        """Equispaced collision samples for every patch.
+
+        Returns ``(points, patch_of)``; the paper uses m = 22 (484 points).
+        """
+        m = m or 22
+        pts = [p.collision_points(m) for p in self.patches]
+        owner = np.repeat(np.arange(self.n_patches), m * m)
+        return np.concatenate(pts), owner
+
+    # -- refinement --------------------------------------------------------------
+    def refined(self, k: int = 2) -> "PatchSurface":
+        """Uniformly subdivide every patch into k x k children.
+
+        This is the weak-scaling refinement step of Sec. 5.2 (k = 2 gives
+        4x the patches).
+        """
+        out: list[ChebPatch] = []
+        for p in self.patches:
+            out.extend(p.subdivide(k))
+        return PatchSurface(out, self.options)
+
+    def flip_orientation(self) -> "PatchSurface":
+        """Reverse the normal direction (swap u and v)."""
+        flipped = [ChebPatch(np.transpose(p.values, (1, 0, 2))) for p in self.patches]
+        return PatchSurface(flipped, self.options)

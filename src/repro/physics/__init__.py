@@ -1,0 +1,20 @@
+"""Membrane mechanics of the RBC model.
+
+The paper's simplified RBC model (Sec. 2.1): inextensible membranes with
+Canham-Helfrich bending elasticity and no in-plane shear rigidity; the
+interfacial force is ``f = f_b + f_sigma`` (plus the artificial collision
+force ``f_c`` from :mod:`repro.collision` and, for the sedimentation
+experiment of Fig. 7, a gravitational traction jump).
+"""
+from .bending import bending_force, bending_energy, linearized_bending_apply
+from .tension import tension_force, TensionSolver
+from .gravity import gravity_force
+
+__all__ = [
+    "bending_force",
+    "bending_energy",
+    "linearized_bending_apply",
+    "tension_force",
+    "TensionSolver",
+    "gravity_force",
+]

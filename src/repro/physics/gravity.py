@@ -1,0 +1,21 @@
+"""Gravitational traction jump for sedimentation (paper Fig. 7).
+
+With a density contrast ``delta_rho`` between the inside and outside
+fluids, the hydrostatic pressure jump across the membrane contributes the
+traction ``f_g = delta_rho (g . X) n``, the standard form used by vesicle
+sedimentation studies.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from ..surfaces import SpectralSurface
+
+
+def gravity_force(surface: SpectralSurface, delta_rho: float,
+                  g_vector=(0.0, 0.0, -1.0)) -> np.ndarray:
+    """Traction jump due to gravity, shape (nlat, nphi, 3)."""
+    g = surface.geometry()
+    gv = np.asarray(g_vector, float)
+    potential = np.einsum("ijk,k->ij", surface.X, gv)
+    return delta_rho * potential[..., None] * g.normal

@@ -1,0 +1,68 @@
+"""Surface tension and the inextensibility constraint.
+
+The membrane is inextensible: ``div_Gamma(u) = 0`` (paper Eq. (2.9)). The
+tension ``sigma`` acts as the Lagrange multiplier of that constraint, with
+force density
+
+``f_sigma = grad_Gamma(sigma) + sigma * Delta_Gamma(X) = grad_Gamma(sigma)
+            + 2 sigma H n``.
+
+:class:`TensionSolver` solves the Schur-complement problem for sigma:
+given a background velocity ``u_bg`` (everything except the tension's own
+contribution), find sigma with ``div_Gamma(u_bg + S[f_sigma(sigma)]) = 0``.
+"""
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..linalg import gmres
+from ..surfaces import SpectralSurface
+
+
+def tension_force(surface: SpectralSurface, sigma: np.ndarray) -> np.ndarray:
+    """Force density of a tension field, shape (nlat, nphi, 3)."""
+    g = surface.geometry()
+    sigma = np.asarray(sigma, float).reshape(surface.grid.nlat, surface.grid.nphi)
+    grad = surface.surface_gradient(sigma)
+    return grad + (2.0 * sigma * g.H)[..., None] * g.normal
+
+
+class TensionSolver:
+    """Solves the inextensibility constraint for the tension field.
+
+    Parameters
+    ----------
+    self_interaction:
+        Callable mapping a force grid field (nlat, nphi, 3) to the velocity
+        it induces on the same surface (the singular single-layer
+        self-interaction operator).
+    """
+
+    def __init__(self, surface: SpectralSurface,
+                 self_interaction: Callable[[np.ndarray], np.ndarray],
+                 tol: float = 1e-8, max_iter: int = 60):
+        self.surface = surface
+        self.self_interaction = self_interaction
+        self.tol = tol
+        self.max_iter = max_iter
+
+    def _shape(self):
+        return self.surface.grid.nlat, self.surface.grid.nphi
+
+    def operator(self, sigma_flat: np.ndarray) -> np.ndarray:
+        sigma = sigma_flat.reshape(self._shape())
+        f = tension_force(self.surface, sigma)
+        u = self.self_interaction(f)
+        return self.surface.surface_divergence(u).ravel()
+
+    def solve(self, u_background: np.ndarray) -> tuple[np.ndarray, int]:
+        """Return (sigma grid field, gmres iterations).
+
+        ``u_background`` is the velocity on the surface from all sources
+        except the tension force of this cell.
+        """
+        rhs = -self.surface.surface_divergence(u_background).ravel()
+        res = gmres(self.operator, rhs, tol=self.tol, max_iter=self.max_iter)
+        return res.x.reshape(self._shape()), res.iterations

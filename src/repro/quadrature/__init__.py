@@ -1,0 +1,29 @@
+"""Quadrature rules and extrapolation stencils.
+
+Implements the 1-D building blocks the paper's discretizations are assembled
+from: Clenshaw-Curtis rules on [-1, 1] (vessel patches), Gauss-Legendre rules
+(RBC colatitude grid), barycentric Chebyshev-Lobatto interpolation (density
+upsampling onto the fine discretization), and the 1-D polynomial
+extrapolation stencil used by the singular/near-singular quadrature scheme of
+Section 3.1 (Fig. 2).
+"""
+from .clenshaw_curtis import clenshaw_curtis, tensor_clenshaw_curtis
+from .gauss_legendre import gauss_legendre
+from .interpolation import (
+    barycentric_weights,
+    barycentric_matrix,
+    chebyshev_lobatto_nodes,
+    interp_matrix_2d,
+)
+from .extrapolation import extrapolation_weights
+
+__all__ = [
+    "clenshaw_curtis",
+    "tensor_clenshaw_curtis",
+    "gauss_legendre",
+    "barycentric_weights",
+    "barycentric_matrix",
+    "chebyshev_lobatto_nodes",
+    "interp_matrix_2d",
+    "extrapolation_weights",
+]

@@ -1,0 +1,60 @@
+"""Clenshaw-Curtis quadrature on [-1, 1] and its tensor product.
+
+The vessel boundary is discretized per-patch with a tensor-product q-th
+order Clenshaw-Curtis rule (paper Sec. 3.1: 11x11 points for 8th-order
+patches; the fine discretization uses an 11th-order rule on each of the
+4**eta subpatches).
+"""
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+
+@lru_cache(maxsize=64)
+def _cc_cached(n: int) -> tuple[np.ndarray, np.ndarray]:
+    if n < 1:
+        raise ValueError("Clenshaw-Curtis rule needs at least one node")
+    if n == 1:
+        return np.zeros(1), np.array([2.0])
+    # Chebyshev-Lobatto nodes x_k = cos(pi k / (n-1)), ascending order.
+    k = np.arange(n)
+    x = -np.cos(np.pi * k / (n - 1))
+    # Weights via the standard cosine-sum formula (exact for degree n-1).
+    w = np.zeros(n)
+    jmax = (n - 1) // 2
+    for i in range(n):
+        theta = np.pi * i / (n - 1)
+        s = 0.0
+        for j in range(1, jmax + 1):
+            b = 2.0 if 2 * j < n - 1 else 1.0
+            s += b / (4.0 * j * j - 1.0) * np.cos(2.0 * j * theta)
+        w[i] = 2.0 / (n - 1) * (1.0 - s)
+    w[0] *= 0.5
+    w[-1] *= 0.5
+    return x, w
+
+
+def clenshaw_curtis(n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Return nodes and weights of the n-point Clenshaw-Curtis rule.
+
+    Nodes are Chebyshev-Lobatto points in ascending order on [-1, 1]; the
+    rule integrates polynomials of degree ``n - 1`` exactly.
+    """
+    x, w = _cc_cached(int(n))
+    return x.copy(), w.copy()
+
+
+def tensor_clenshaw_curtis(n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Tensor-product rule on the reference square Q = [-1, 1]^2.
+
+    Returns ``(nodes, weights)`` where ``nodes`` is ``(n*n, 2)`` with the
+    *u* index varying fastest, matching the patch sampling convention used
+    throughout :mod:`repro.patches`.
+    """
+    x, w = clenshaw_curtis(n)
+    U, V = np.meshgrid(x, x, indexing="ij")  # U varies along rows
+    nodes = np.column_stack([U.ravel(), V.ravel()])
+    weights = np.outer(w, w).ravel()
+    return nodes, weights

@@ -1,0 +1,30 @@
+"""1-D polynomial extrapolation stencils for the check-point scheme.
+
+Step 5 of the singular/near-singular quadrature (paper Sec. 3.1) extrapolates
+velocities from the check points ``c_i = y - (R + i r) n`` back to the target
+``x`` at (signed) distance ``d`` from the surface along the same normal. With
+check points at parameters ``t_i = R + i r`` and the target at ``t = d``,
+the weights ``e_q`` are those of Lagrange extrapolation.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from .interpolation import barycentric_matrix, barycentric_weights
+
+
+def extrapolation_weights(R: float, r: float, p: int, target_t: float = 0.0) -> np.ndarray:
+    """Weights ``e_q`` of the (p+1)-point extrapolation to ``target_t``.
+
+    Check points live at ``t_i = R + i * r`` for ``i = 0..p``; the target is
+    at parameter ``target_t`` (0 for an on-surface target; positive values
+    are points between the surface and the first check point). The returned
+    weights satisfy ``u(target) = sum_q e_q u(c_q)`` exactly for polynomials
+    of degree ``p``.
+    """
+    if p < 0:
+        raise ValueError("extrapolation order p must be non-negative")
+    t = R + r * np.arange(p + 1, dtype=float)
+    w = barycentric_weights(t)
+    M = barycentric_matrix(t, np.array([target_t]), w)
+    return M[0]

@@ -1,0 +1,29 @@
+"""Gauss-Legendre quadrature, cached.
+
+Used for the colatitude direction of the spherical-harmonic grid: with
+``p + 1`` Gauss-Legendre nodes in ``cos(theta)`` the forward transform of a
+band-limited (order p) function is exact.
+"""
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+
+@lru_cache(maxsize=64)
+def _gl_cached(n: int) -> tuple[np.ndarray, np.ndarray]:
+    x, w = np.polynomial.legendre.leggauss(int(n))
+    return x, w
+
+
+def gauss_legendre(n: int, a: float = -1.0, b: float = 1.0) -> tuple[np.ndarray, np.ndarray]:
+    """Return the n-point Gauss-Legendre rule on [a, b] (ascending nodes)."""
+    if n < 1:
+        raise ValueError("Gauss-Legendre rule needs at least one node")
+    x, w = _gl_cached(int(n))
+    if (a, b) != (-1.0, 1.0):
+        mid = 0.5 * (a + b)
+        half = 0.5 * (b - a)
+        return mid + half * x, half * w
+    return x.copy(), w.copy()

@@ -1,0 +1,28 @@
+"""Virtual distributed-memory runtime (substitution S1 in DESIGN.md).
+
+The paper runs one MPI rank per Stampede2 node. This environment has no
+MPI, so the parallel algorithms run on a *virtual* communicator: P logical
+ranks executed in-process, with every collective routed through
+:class:`VirtualComm`, which implements the MPI semantics over lists of
+per-rank numpy payloads and records a :class:`CommLedger` of message
+counts and bytes. The ledger, combined with the machine models in
+:mod:`repro.scaling`, regenerates the paper's scaling figures; the
+algorithms themselves (Morton spatial hashing of Sec. 3.3, the HykSort-
+style parallel sample sort [45], the sparse all-to-all used by the LCP
+assembly) are real implementations operating on the virtual ranks.
+"""
+from .communicator import VirtualComm, CommLedger
+from .partition import block_partition, partition_by_morton
+from .parallel_sort import parallel_sample_sort
+from .spatial_hash import SpatialHash, morton_keys_3d, morton_decode_3d
+
+__all__ = [
+    "VirtualComm",
+    "CommLedger",
+    "block_partition",
+    "partition_by_morton",
+    "parallel_sample_sort",
+    "SpatialHash",
+    "morton_keys_3d",
+    "morton_decode_3d",
+]

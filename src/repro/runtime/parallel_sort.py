@@ -1,0 +1,91 @@
+"""Distributed sample sort (HykSort substitute, paper [45]).
+
+Sorts key/value pairs distributed across the virtual ranks: every rank
+contributes local samples, splitters are chosen from the gathered sample,
+each rank buckets its data by splitter and exchanges buckets with an
+all-to-all, then sorts locally. The result is a globally sorted
+distribution (rank r holds keys <= rank r+1's keys), which is how the
+spatial-hash pipeline of Sec. 3.3 collects equal keys onto one rank.
+"""
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .communicator import VirtualComm
+
+
+def parallel_sample_sort(comm: VirtualComm, keys: Sequence[np.ndarray],
+                         values: Optional[Sequence[np.ndarray]] = None,
+                         oversample: int = 8):
+    """Globally sort distributed (key, value) arrays.
+
+    Parameters
+    ----------
+    comm:
+        The virtual communicator.
+    keys:
+        One 1-D key array per rank.
+    values:
+        Optional per-rank value rows aligned with the keys (2-D allowed).
+
+    Returns
+    -------
+    (sorted_keys, sorted_values): per-rank lists; concatenation over ranks
+    is globally sorted, and equal keys always end up on a single rank
+    boundary-consistently (stable within rank; splitters cut between
+    distinct key values whenever possible).
+    """
+    P = comm.size
+    keys = [np.asarray(k) for k in keys]
+    if values is not None:
+        values = [np.asarray(v) for v in values]
+        for k, v in zip(keys, values):
+            if k.shape[0] != v.shape[0]:
+                raise ValueError("keys/values length mismatch")
+
+    # 1. Local samples -> splitters (allgather).
+    samples = []
+    for k in keys:
+        if k.size:
+            idx = np.linspace(0, k.size - 1, min(k.size, oversample * P)).astype(int)
+            samples.append(np.sort(k)[idx])
+        else:
+            samples.append(k[:0])
+    gathered = comm.allgather(samples)[0]
+    allsamp = np.sort(np.concatenate(gathered)) if gathered else np.zeros(0)
+    if allsamp.size == 0:
+        empty_v = [v[:0] for v in values] if values is not None else None
+        return list(keys), empty_v if values is not None else None
+    cut = np.linspace(0, allsamp.size, P + 1)[1:-1].astype(int)
+    splitters = allsamp[np.minimum(cut, allsamp.size - 1)]
+
+    # 2. Bucket local data by splitter (destination rank).
+    buckets_k = []
+    buckets_v = []
+    for r in range(P):
+        dest = np.searchsorted(splitters, keys[r], side="right")
+        bk = {d: keys[r][dest == d] for d in np.unique(dest)}
+        buckets_k.append(bk)
+        if values is not None:
+            buckets_v.append({d: values[r][dest == d] for d in np.unique(dest)})
+
+    # 3. Sparse all-to-all exchange.
+    recv_k = comm.alltoallv(buckets_k)
+    recv_v = comm.alltoallv(buckets_v) if values is not None else None
+
+    # 4. Local sort.
+    out_k: list[np.ndarray] = []
+    out_v: list[np.ndarray] = []
+    for r in range(P):
+        parts = [recv_k[r][s] for s in sorted(recv_k[r])]
+        k = np.concatenate(parts) if parts else keys[r][:0]
+        order = np.argsort(k, kind="stable")
+        out_k.append(k[order])
+        if values is not None:
+            vparts = [recv_v[r][s] for s in sorted(recv_v[r])]
+            v = (np.concatenate(vparts) if vparts
+                 else values[r][:0])
+            out_v.append(v[order])
+    return out_k, (out_v if values is not None else None)

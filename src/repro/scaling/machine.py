@@ -1,0 +1,39 @@
+"""Machine models for the Stampede2 partitions used in the paper."""
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class MachineModel:
+    """A cluster abstraction for pricing computation and communication.
+
+    ``node_speed`` is the throughput of one node relative to the
+    calibration host (the machine the per-unit costs were measured on);
+    ``alpha`` is the point-to-point message latency (s) and ``beta`` the
+    per-node injection bandwidth (bytes/s); ``collective_factor`` scales
+    the log(P) depth of tree-based collectives.
+    """
+
+    name: str
+    cores_per_node: int
+    node_speed: float
+    alpha: float
+    beta: float
+    collective_factor: float = 1.0
+
+    def nodes(self, cores: int) -> int:
+        return max(1, cores // self.cores_per_node)
+
+
+#: Skylake partition: dual-socket 24-core 2.1 GHz (48 cores/node),
+#: Omni-Path 100 Gb/s fabric.
+SKX = MachineModel(name="SKX", cores_per_node=48, node_speed=1.0,
+                   alpha=1.7e-6, beta=12.0e9, collective_factor=1.0)
+
+#: Knights Landing partition: 68-core 1.4 GHz Xeon Phi 7250. Lower
+#: per-node effective throughput on this (latency-bound, numpy-like)
+#: workload mix and the same fabric; the paper observes KNL needing a
+#: smaller per-node grain and scaling slightly worse.
+KNL = MachineModel(name="KNL", cores_per_node=68, node_speed=0.55,
+                   alpha=2.3e-6, beta=10.0e9, collective_factor=1.35)

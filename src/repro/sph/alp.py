@@ -1,0 +1,114 @@
+"""Fully-normalized associated Legendre functions and theta-derivatives.
+
+We use the orthonormal convention: the spherical harmonics are
+``Y_l^m(theta, phi) = Pbar_l^m(cos theta) e^{i m phi}`` with
+
+``int_{S^2} Y_l^m conj(Y_l'^m') dOmega = delta_{ll'} delta_{mm'}``,
+
+and the Condon-Shortley phase included in ``Pbar``. Negative orders follow
+from ``Y_l^{-m} = (-1)^m conj(Y_l^m)``.
+
+The recursions below are the standard stable ones (increasing degree for
+fixed order); they are exercised against :func:`scipy.special.sph_harm_y`
+in the test suite.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+
+def normalized_alp(lmax: int, x: np.ndarray) -> np.ndarray:
+    """Evaluate ``Pbar_l^m(x)`` for ``0 <= m <= l <= lmax``.
+
+    Parameters
+    ----------
+    lmax:
+        Maximum degree.
+    x:
+        Evaluation points in [-1, 1], any shape; flattened internally.
+
+    Returns
+    -------
+    ndarray of shape ``(lmax+1, lmax+1, n)``: entry ``[l, m]`` holds
+    ``Pbar_l^m`` at the n points (zero where ``m > l``).
+    """
+    x = np.asarray(x, dtype=float).ravel()
+    n = x.size
+    s = np.sqrt(np.maximum(0.0, 1.0 - x * x))  # sin(theta)
+    P = np.zeros((lmax + 1, lmax + 1, n))
+    P[0, 0] = np.full(n, np.sqrt(1.0 / (4.0 * np.pi)))
+    # Diagonal: Pbar_m^m = -sqrt((2m+1)/(2m)) * s * Pbar_{m-1}^{m-1}
+    for m in range(1, lmax + 1):
+        P[m, m] = -np.sqrt((2.0 * m + 1.0) / (2.0 * m)) * s * P[m - 1, m - 1]
+    # First off-diagonal: Pbar_{m+1}^m = sqrt(2m+3) * x * Pbar_m^m
+    for m in range(0, lmax):
+        P[m + 1, m] = np.sqrt(2.0 * m + 3.0) * x * P[m, m]
+    # Upward recursion in degree.
+    for m in range(0, lmax + 1):
+        for l in range(m + 2, lmax + 1):
+            a = np.sqrt((4.0 * l * l - 1.0) / (l * l - m * m))
+            b = np.sqrt(((l - 1.0) ** 2 - m * m) / (4.0 * (l - 1.0) ** 2 - 1.0))
+            P[l, m] = a * (x * P[l - 1, m] - b * P[l - 2, m])
+    return P
+
+
+def normalized_alp_theta_derivative(lmax: int, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Evaluate ``Pbar_l^m`` and ``d Pbar_l^m / d theta``.
+
+    Uses the identity (valid for fully-normalized ALPs)
+
+    ``sin(theta) dPbar_l^m/dtheta = l A_{l+1}^m Pbar_{l+1}^m
+                                     - (l+1) A_l^m Pbar_{l-1}^m``
+
+    with ``A_l^m = sqrt((l^2 - m^2) / (4 l^2 - 1))``. The division by
+    ``sin(theta)`` is safe on Gauss-Legendre grids, which exclude the poles.
+
+    Returns ``(P, dP)`` each of shape ``(lmax+1, lmax+1, n)``.
+    """
+    x = np.asarray(x, dtype=float).ravel()
+    s = np.sqrt(np.maximum(0.0, 1.0 - x * x))
+    if np.any(s < 1e-13):
+        raise ValueError("theta-derivative evaluation requested at a pole")
+    P_ext = normalized_alp(lmax + 1, x)
+    P = P_ext[: lmax + 1, : lmax + 1]
+    dP = np.zeros_like(P)
+    for m in range(0, lmax + 1):
+        for l in range(m, lmax + 1):
+            a_lp1 = np.sqrt(((l + 1.0) ** 2 - m * m) / (4.0 * (l + 1.0) ** 2 - 1.0))
+            term = l * a_lp1 * P_ext[l + 1, m]
+            if l - 1 >= m:
+                a_l = np.sqrt((l * l - m * m) / (4.0 * l * l - 1.0))
+                term = term - (l + 1.0) * a_l * P_ext[l - 1, m]
+            dP[l, m] = term / s
+    return P.copy(), dP
+
+
+def normalized_alp_theta_derivative2(lmax: int, x: np.ndarray
+                                     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Evaluate ``Pbar``, ``dPbar/dtheta`` and ``d^2 Pbar/dtheta^2``.
+
+    Differentiating the first-derivative identity once more gives
+
+    ``d2P_l^m = (l A_{l+1} dP_{l+1}^m - (l+1) A_l dP_{l-1}^m
+                 - cos(theta) dP_l^m) / sin(theta)``,
+
+    which only needs ``dP`` up to degree ``lmax + 1`` (hence ``P`` up to
+    ``lmax + 2``). Exact for band-limited series; poles excluded.
+    """
+    x = np.asarray(x, dtype=float).ravel()
+    s = np.sqrt(np.maximum(0.0, 1.0 - x * x))
+    if np.any(s < 1e-13):
+        raise ValueError("second-derivative evaluation requested at a pole")
+    P1, dP1 = normalized_alp_theta_derivative(lmax + 1, x)
+    P = P1[: lmax + 1, : lmax + 1].copy()
+    dP = dP1[: lmax + 1, : lmax + 1].copy()
+    d2P = np.zeros_like(P)
+    for m in range(0, lmax + 1):
+        for l in range(m, lmax + 1):
+            a_lp1 = np.sqrt(((l + 1.0) ** 2 - m * m) / (4.0 * (l + 1.0) ** 2 - 1.0))
+            term = l * a_lp1 * dP1[l + 1, m]
+            if l - 1 >= m:
+                a_l = np.sqrt((l * l - m * m) / (4.0 * l * l - 1.0))
+                term = term - (l + 1.0) * a_l * dP1[l - 1, m]
+            d2P[l, m] = (term - x * dP[l, m]) / s
+    return P, dP, d2P

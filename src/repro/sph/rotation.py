@@ -1,0 +1,46 @@
+"""Sphere rotations for the singular quadrature of the single layer.
+
+The single-layer self-interaction on an RBC is computed with the rotation
+trick of [48]/[14] (cited in paper Sec. 2.2): for each target point the
+sphere parametrization is rotated so the target sits at the north pole;
+in the rotated coordinates the quadrature weight ``sin(psi)`` cancels the
+``1/r`` kernel singularity and the standard product rule converges
+spectrally. This module provides the geometry of that rotation: given a
+pole direction, compute the (theta, phi) coordinates of a reference
+latitude-longitude grid rotated to that pole.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+
+def rotation_matrix_to_pole(theta0: float, phi0: float) -> np.ndarray:
+    """Rotation R mapping the north pole to the direction (theta0, phi0).
+
+    Composition Rz(phi0) @ Ry(theta0); columns are orthonormal.
+    """
+    ct, st = np.cos(theta0), np.sin(theta0)
+    cp, sp = np.cos(phi0), np.sin(phi0)
+    Ry = np.array([[ct, 0.0, st], [0.0, 1.0, 0.0], [-st, 0.0, ct]])
+    Rz = np.array([[cp, -sp, 0.0], [sp, cp, 0.0], [0.0, 0.0, 1.0]])
+    return Rz @ Ry
+
+
+def rotated_sphere_points(theta0: float, phi0: float,
+                          psi: np.ndarray, alpha: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Spherical coordinates of rotated grid points.
+
+    Points at colatitude ``psi`` and azimuth ``alpha`` *relative to the
+    rotated pole* ``(theta0, phi0)`` are mapped back to standard (theta,
+    phi) coordinates. ``psi`` and ``alpha`` are broadcast against each
+    other; returns flat arrays of the broadcast size.
+    """
+    psi, alpha = np.broadcast_arrays(np.asarray(psi, float), np.asarray(alpha, float))
+    sp = np.sin(psi)
+    pts = np.stack([sp * np.cos(alpha), sp * np.sin(alpha), np.cos(psi)], axis=-1)
+    R = rotation_matrix_to_pole(theta0, phi0)
+    world = pts.reshape(-1, 3) @ R.T
+    z = np.clip(world[:, 2], -1.0, 1.0)
+    theta = np.arccos(z)
+    phi = np.arctan2(world[:, 1], world[:, 0]) % (2.0 * np.pi)
+    return theta, phi

@@ -1,0 +1,192 @@
+"""Forward and inverse spherical-harmonic transforms.
+
+The forward transform combines an FFT in longitude with Gauss-Legendre
+quadrature in colatitude; it is exact for fields band-limited at the grid
+order. Coefficients are stored densely as a complex array ``c[l, m + p]``
+for ``0 <= l <= p`` and ``-l <= m <= l`` (entries outside the triangle are
+zero). Real fields keep the Hermitian symmetry ``c[l, -m] = (-1)^m
+conj(c[l, m])``; we store the full complex triangle for simplicity and
+return real grids from synthesis when the input was real.
+"""
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from .alp import (
+    normalized_alp,
+    normalized_alp_theta_derivative,
+    normalized_alp_theta_derivative2,
+)
+from .grid import SphGrid, get_grid
+
+
+@lru_cache(maxsize=32)
+def _analysis_tables(order: int):
+    """Precompute ALP tables on the grid colatitudes for a given order."""
+    grid = get_grid(order)
+    P, dP, d2P = normalized_alp_theta_derivative2(order, grid.cos_theta)
+    return grid, P, dP, d2P
+
+
+class SHTransform:
+    """Reusable transform object for a fixed order ``p``.
+
+    The heavy trigonometric tables are cached per order, so constructing
+    these objects is cheap.
+    """
+
+    def __init__(self, order: int):
+        self.order = int(order)
+        self.grid, self._P, self._dP, self._d2P = _analysis_tables(self.order)
+
+    # -- analysis ---------------------------------------------------------
+    def forward(self, f: np.ndarray) -> np.ndarray:
+        """Forward SHT of a real or complex field of shape (nlat, nphi).
+
+        Returns coefficients ``c`` of shape ``(p+1, 2p+1)`` with column
+        index ``m + p``.
+        """
+        p = self.order
+        grid = self.grid
+        f = np.asarray(f)
+        if f.shape != (grid.nlat, grid.nphi):
+            raise ValueError(f"expected field of shape {(grid.nlat, grid.nphi)}")
+        # Fourier analysis in phi: F[j, m] = (2 pi / nphi) sum_k f e^{-im phi_k}
+        F = np.fft.fft(f, axis=1) * (2.0 * np.pi / grid.nphi)
+        c = np.zeros((p + 1, 2 * p + 1), dtype=complex)
+        wj = grid.glw  # includes sin(theta) dtheta Jacobian
+        for m in range(0, p + 1):
+            Fm = F[:, m]  # (nlat,)
+            # c_l^m = sum_j w_j Pbar_l^m(x_j) F_m(theta_j)
+            c[m:, p + m] = (self._P[m:, m] * (wj * Fm)[None, :]).sum(axis=1)
+            if m > 0:
+                Fmneg = F[:, grid.nphi - m]
+                sign = (-1.0) ** m
+                # Pbar_l^{-m} relation: Y_l^{-m} = (-1)^m conj(Y_l^m) =>
+                # use the same Pbar with the sign factor.
+                c[m:, p - m] = sign * (self._P[m:, m] * (wj * Fmneg)[None, :]).sum(axis=1)
+        return c
+
+    # -- synthesis --------------------------------------------------------
+    def inverse(self, c: np.ndarray, real: bool = True) -> np.ndarray:
+        """Synthesize the field on the native grid from coefficients."""
+        p = self.order
+        grid = self.grid
+        F = np.zeros((grid.nlat, grid.nphi), dtype=complex)
+        for m in range(0, p + 1):
+            col = (self._P[m:, m] * c[m:, p + m][:, None]).sum(axis=0)
+            F[:, m] = col
+            if m > 0:
+                sign = (-1.0) ** m
+                F[:, grid.nphi - m] = sign * (self._P[m:, m] * c[m:, p - m][:, None]).sum(axis=0)
+        f = np.fft.ifft(F * grid.nphi, axis=1)
+        return f.real if real else f
+
+    def _synth_with_tables(self, c, tab, theta, phi, derivative):
+        p = self.order
+        theta = np.asarray(theta, dtype=float).ravel()
+        phi = np.asarray(phi, dtype=float).ravel()
+        npts = theta.size
+        out = np.zeros(npts, dtype=complex)
+        for m in range(-p, p + 1):
+            am = abs(m)
+            basis = tab[am:, am, :]  # (p+1-am, npts)
+            coef = c[am:, p + m]
+            radial = (basis * coef[:, None]).sum(axis=0)
+            if m < 0:
+                radial = radial * (-1.0) ** am
+            phase = np.exp(1j * m * phi)
+            if derivative in ("phi", "thetaphi"):
+                phase = phase * (1j * m)
+            elif derivative == "phi2":
+                phase = phase * (-(m * m))
+            out += radial * phase
+        return out
+
+    def evaluate(self, c: np.ndarray, theta: np.ndarray, phi: np.ndarray,
+                 derivative: str = "none", real: bool = True) -> np.ndarray:
+        """Evaluate the SH series (or an angular derivative) at points.
+
+        ``derivative`` is one of ``"none"``, ``"theta"``, ``"phi"``,
+        ``"theta2"``, ``"thetaphi"``, ``"phi2"``. Points may not lie on the
+        poles when a theta derivative is requested.
+        """
+        p = self.order
+        theta = np.asarray(theta, dtype=float).ravel()
+        x = np.cos(theta)
+        if derivative in ("theta", "thetaphi"):
+            tab = normalized_alp_theta_derivative(p, x)[1]
+        elif derivative == "theta2":
+            tab = normalized_alp_theta_derivative2(p, x)[2]
+        else:
+            tab = normalized_alp(p, x)
+        out = self._synth_with_tables(c, tab, theta, phi, derivative)
+        return out.real if real else out
+
+    # -- spectral derivatives on the native grid --------------------------
+    def derivative_grid(self, c: np.ndarray, which: str, real: bool = True) -> np.ndarray:
+        """Evaluate an angular derivative of the series on the native grid.
+
+        ``which`` is one of ``"none"``, ``"theta"``, ``"phi"``, ``"theta2"``,
+        ``"thetaphi"``, ``"phi2"``. Derivatives are exact for band-limited
+        series (no product aliasing is introduced here).
+        """
+        p = self.order
+        grid = self.grid
+        F = np.zeros((grid.nlat, grid.nphi), dtype=complex)
+        if which in ("theta", "thetaphi"):
+            tab = self._dP
+        elif which == "theta2":
+            tab = self._d2P
+        else:
+            tab = self._P
+        for m in range(0, p + 1):
+            col = (tab[m:, m] * c[m:, p + m][:, None]).sum(axis=0)
+            colneg = None
+            if m > 0:
+                sign = (-1.0) ** m
+                colneg = sign * (tab[m:, m] * c[m:, p - m][:, None]).sum(axis=0)
+            if which in ("phi", "thetaphi"):
+                col = col * (1j * m)
+                if colneg is not None:
+                    colneg = colneg * (-1j * m)
+            elif which == "phi2":
+                col = col * (-(m * m))
+                if colneg is not None:
+                    colneg = colneg * (-(m * m))
+            F[:, m] = col
+            if colneg is not None:
+                F[:, grid.nphi - m] = colneg
+        f = np.fft.ifft(F * grid.nphi, axis=1)
+        return f.real if real else f
+
+    # -- resampling --------------------------------------------------------
+    def resample(self, c: np.ndarray, new_order: int, real: bool = True) -> np.ndarray:
+        """Synthesize on the grid of a different order (up/downsampling).
+
+        Upsampling is exact; downsampling truncates the expansion.
+        """
+        q = int(new_order)
+        cq = np.zeros((q + 1, 2 * q + 1), dtype=complex)
+        p = self.order
+        lm = min(p, q)
+        for l in range(lm + 1):
+            for m in range(-l, l + 1):
+                cq[l, q + m] = c[l, p + m]
+        return SHTransform(q).inverse(cq, real=real)
+
+
+def sht(f: np.ndarray, order: int | None = None) -> np.ndarray:
+    """One-shot forward transform; infers the order from the grid shape."""
+    f = np.asarray(f)
+    if order is None:
+        order = f.shape[0] - 1
+    return SHTransform(order).forward(f)
+
+
+def isht(c: np.ndarray, real: bool = True) -> np.ndarray:
+    """One-shot inverse transform; infers the order from ``c``."""
+    order = c.shape[0] - 1
+    return SHTransform(order).inverse(c, real=real)

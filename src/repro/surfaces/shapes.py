@@ -1,0 +1,57 @@
+"""Reference cell shapes.
+
+``biconcave_rbc`` is the Evans-Fung resting shape of a red blood cell
+(reduced volume ~0.64); spheres and ellipsoids support the verification
+studies (bending force vanishes on spheres; curvature of ellipsoids has a
+closed form).
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import DEFAULT_SPH_ORDER
+from ..sph.grid import get_grid
+from .spectral_surface import SpectralSurface
+
+
+def unit_sphere(order: int = DEFAULT_SPH_ORDER) -> SpectralSurface:
+    """The unit sphere sampled on the order-p grid."""
+    return sphere(1.0, order=order)
+
+
+def sphere(radius: float, center=(0.0, 0.0, 0.0),
+           order: int = DEFAULT_SPH_ORDER) -> SpectralSurface:
+    grid = get_grid(order)
+    pts = radius * grid.points_unit_sphere() + np.asarray(center, float)
+    return SpectralSurface(pts.reshape(grid.nlat, grid.nphi, 3), order)
+
+
+def ellipsoid(a: float, b: float, c: float, center=(0.0, 0.0, 0.0),
+              order: int = DEFAULT_SPH_ORDER) -> SpectralSurface:
+    grid = get_grid(order)
+    pts = grid.points_unit_sphere() * np.array([a, b, c])
+    pts = pts + np.asarray(center, float)
+    return SpectralSurface(pts.reshape(grid.nlat, grid.nphi, 3), order)
+
+
+def biconcave_rbc(radius: float = 1.0, center=(0.0, 0.0, 0.0),
+                  order: int = DEFAULT_SPH_ORDER,
+                  c0: float = 0.2072, c1: float = 2.0026, c2: float = -1.1228) -> SpectralSurface:
+    """Evans-Fung biconcave discocyte of equatorial radius ``radius``.
+
+    Parametrized over the sphere: with w = sin(theta),
+
+        x = R w cos(phi),  y = R w sin(phi),
+        z = (R/2) cos(theta) (c0 + c1 w^2 + c2 w^4),
+
+    which is a smooth band-limited-in-practice map (the z-profile is a
+    degree-5 spherical polynomial), so low SH orders represent it exactly.
+    """
+    grid = get_grid(order)
+    T, P = grid.mesh()
+    w2 = np.sin(T) ** 2
+    x = radius * np.sin(T) * np.cos(P)
+    y = radius * np.sin(T) * np.sin(P)
+    z = 0.5 * radius * np.cos(T) * (c0 + c1 * w2 + c2 * w2 * w2)
+    pts = np.stack([x, y, z], axis=-1) + np.asarray(center, float)
+    return SpectralSurface(pts, order)

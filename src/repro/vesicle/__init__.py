@@ -1,0 +1,13 @@
+"""Vesicle (RBC) integral operators.
+
+- :class:`SingularSelfInteraction` — spectrally-accurate single-layer
+  self-interaction via the rotation trick of [48]/[14] (paper Sec. 2.2,
+  "Other parallel quadrature methods").
+- :func:`cell_cell_interaction` — smooth far quadrature between distinct
+  cells with near-singular correction by upsampling + check-point
+  interpolation (paper's scheme of [28, 43]).
+"""
+from .self_interaction import SingularSelfInteraction
+from .near_singular import CellNearEvaluator
+
+__all__ = ["SingularSelfInteraction", "CellNearEvaluator"]

@@ -1,0 +1,184 @@
+"""Singular single-layer quadrature on spherical-harmonic surfaces.
+
+For a target point on the surface of its own cell, the Stokes single-layer
+integrand has a 1/r singularity. Following [48] and the quadrature rule of
+Graham & Sloan [14] (paper Sec. 2.2), the sphere parametrization is rotated
+so the target sits at the north pole; in rotated coordinates
+``dS = (W / sin theta) sin psi dpsi dalpha`` and ``sin psi / r`` is smooth,
+so a Gauss-Legendre rule in ``cos psi`` times a trapezoid rule in ``alpha``
+converges spectrally.
+
+The expensive, geometry-independent parts (rotated parameter coordinates
+and complex synthesis matrices) depend only on the pair of orders
+``(p, q_rot)`` and the target's *latitude row* — a rotation about the polar
+axis only multiplies SH coefficients by phases. They are therefore built
+once per order pair and cached (the "precomputed singular integration
+operator" of [28] the paper credits with a substantial complexity
+improvement).
+"""
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from ..quadrature import gauss_legendre
+from ..sph.alp import normalized_alp, normalized_alp_theta_derivative
+from ..sph.grid import get_grid
+from ..sph.rotation import rotated_sphere_points
+from ..surfaces import SpectralSurface
+
+_POLE_GUARD = 1e-7
+
+
+def _coeff_index(p: int) -> tuple[np.ndarray, np.ndarray]:
+    """Flattened (l, m) indexing of the dense (p+1, 2p+1) coefficient array."""
+    ls, ms = [], []
+    for l in range(p + 1):
+        for m in range(-l, l + 1):
+            ls.append(l)
+            ms.append(m)
+    return np.array(ls), np.array(ms)
+
+
+def pack_coeffs(c: np.ndarray) -> np.ndarray:
+    """Dense (p+1, 2p+1) coefficient array -> flat (l, m) vector."""
+    p = c.shape[0] - 1
+    ls, ms = _coeff_index(p)
+    return c[ls, p + ms]
+
+
+@lru_cache(maxsize=8)
+class _RotationTables:
+    """Per-(p, q_rot) cached rotation quadrature machinery."""
+
+    def __init__(self, p: int, q_rot: int):
+        self.p = p
+        self.q_rot = q_rot
+        grid = get_grid(p)
+        self.grid = grid
+        # Rotated quadrature rule: Gauss-Legendre in psi itself (not in
+        # cos psi), trapezoid in alpha. Written in psi the single-layer
+        # integrand is smooth: sin(psi)/r ~ sin(psi)/(2 sin(psi/2)) =
+        # cos(psi/2), which is the cancellation the Graham-Sloan rule [14]
+        # exploits; Gauss-Legendre in psi then converges spectrally.
+        npsi = q_rot + 1
+        nalpha = 2 * q_rot + 2
+        psi, wpsi = gauss_legendre(npsi, 0.0, np.pi)
+        wpsi = wpsi * np.sin(psi)  # fold in the sphere Jacobian
+        alpha = 2.0 * np.pi * np.arange(nalpha) / nalpha
+        PSI, ALPHA = np.meshgrid(psi, alpha, indexing="ij")
+        self.weights = np.outer(wpsi, np.full(nalpha, 2.0 * np.pi / nalpha)).ravel()
+        self.nrot = npsi * nalpha
+
+        ls, ms = _coeff_index(p)
+        self.ncoef = ls.size
+        self.ms = ms
+
+        # Per latitude row: rotated coordinates for phi0 = 0 and synthesis
+        # matrices (value, d/dtheta, d/dphi) from packed coefficients.
+        self.row_sin_theta_r = []
+        self.B_val = []
+        self.B_dth = []
+        self.B_dph = []
+        for i in range(grid.nlat):
+            th_r, ph_r = rotated_sphere_points(grid.theta[i], 0.0,
+                                               PSI.ravel(), ALPHA.ravel())
+            th_r = np.clip(th_r, _POLE_GUARD, np.pi - _POLE_GUARD)
+            x = np.cos(th_r)
+            P, dP = normalized_alp_theta_derivative(p, x)
+            phase = np.exp(1j * ms[None, :] * ph_r[:, None])  # (nrot, ncoef)
+            sign = np.where(ms < 0, (-1.0) ** np.abs(ms), 1.0)
+            Pm = P[ls, np.abs(ms), :].T * sign[None, :]   # (nrot, ncoef)
+            dPm = dP[ls, np.abs(ms), :].T * sign[None, :]
+            Bv = Pm * phase
+            Bt = dPm * phase
+            Bp = Bv * (1j * ms)[None, :]
+            self.row_sin_theta_r.append(np.sin(th_r))
+            self.B_val.append(Bv)
+            self.B_dth.append(Bt)
+            self.B_dph.append(Bp)
+
+
+class SingularSelfInteraction:
+    """Applies the singular single-layer operator ``S_i`` of one cell.
+
+    ``apply(density)`` returns the velocity induced *on the cell's own
+    surface* by a force density sampled on its grid — the implicit
+    self-interaction term ``S_i f_i`` of paper Eq. (2.8).
+    """
+
+    def __init__(self, surface: SpectralSurface, viscosity: float = 1.0,
+                 upsample: float = 1.5):
+        self.surface = surface
+        self.viscosity = viscosity
+        p = surface.order
+        q_rot = max(p, int(np.ceil(upsample * p)))
+        self.tables = _RotationTables(p, q_rot)
+        self._prepare_geometry()
+
+    def _prepare_geometry(self) -> None:
+        """Evaluate surface position and area element at all rotated points.
+
+        These depend on the current configuration; call :meth:`refresh`
+        after the surface moves.
+        """
+        surf = self.surface
+        tb = self.tables
+        grid = surf.grid
+        cX = surf.coeffs()
+        packed = np.stack([pack_coeffs(cX[k]) for k in range(3)], axis=1)  # (ncoef, 3)
+        nlat, nphi = grid.nlat, grid.nphi
+        nrot = tb.nrot
+        self.X_rot = np.empty((nlat, nphi, nrot, 3))
+        self.w_rot = np.empty((nlat, nphi, nrot))
+        ms = tb.ms
+        for i in range(nlat):
+            phases = np.exp(1j * ms[:, None] * grid.phi[None, :])  # (ncoef, nphi)
+            # batched synthesis over the row: (nrot, ncoef) @ (ncoef, nphi*3)
+            C = packed[:, None, :] * phases[:, :, None]            # (ncoef, nphi, 3)
+            C = C.reshape(tb.ncoef, nphi * 3)
+            val = (tb.B_val[i] @ C).reshape(nrot, nphi, 3)
+            dth = (tb.B_dth[i] @ C).reshape(nrot, nphi, 3)
+            dph = (tb.B_dph[i] @ C).reshape(nrot, nphi, 3)
+            Xr = val.real.transpose(1, 0, 2)
+            Xt = dth.real.transpose(1, 0, 2)
+            Xp = dph.real.transpose(1, 0, 2)
+            W = np.linalg.norm(np.cross(Xt, Xp), axis=-1)
+            self.X_rot[i] = Xr
+            self.w_rot[i] = (W / tb.row_sin_theta_r[i][None, :]) * tb.weights[None, :]
+
+    def refresh(self) -> None:
+        """Re-evaluate cached geometry after the surface has moved."""
+        self._prepare_geometry()
+
+    def apply(self, density: np.ndarray) -> np.ndarray:
+        """Velocity on the surface from force density ``f`` (grid field).
+
+        Shape in/out: ``(nlat, nphi, 3)``.
+        """
+        surf = self.surface
+        tb = self.tables
+        grid = surf.grid
+        density = np.asarray(density, float).reshape(grid.nlat, grid.nphi, 3)
+        cf = np.stack([surf.transform.forward(density[:, :, k]) for k in range(3)])
+        packed = np.stack([pack_coeffs(cf[k]) for k in range(3)], axis=1)
+        out = np.empty_like(density)
+        scale = 1.0 / (8.0 * np.pi * self.viscosity)
+        ms = tb.ms
+        targets = surf.X
+        for i in range(grid.nlat):
+            phases = np.exp(1j * ms[:, None] * grid.phi[None, :])
+            C = (packed[:, None, :] * phases[:, :, None]).reshape(tb.ncoef, -1)
+            f_rot = (tb.B_val[i] @ C).reshape(tb.nrot, grid.nphi, 3).real
+            f_rot = f_rot.transpose(1, 0, 2)                    # (nphi, nrot, 3)
+            fw = f_rot * self.w_rot[i][:, :, None]
+            r = targets[i][:, None, :] - self.X_rot[i]          # (nphi, nrot, 3)
+            r2 = np.einsum("tsk,tsk->ts", r, r)
+            inv_r = 1.0 / np.sqrt(r2)
+            rf = np.einsum("tsk,tsk->ts", r, fw)
+            out[i] = scale * (
+                np.einsum("ts,tsk->tk", inv_r, fw)
+                + np.einsum("ts,tsk->tk", rf * inv_r ** 3, r)
+            )
+        return out

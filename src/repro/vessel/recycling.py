@@ -1,0 +1,82 @@
+"""Inlet/outlet RBC recycling (paper Sec. 5.1).
+
+"We define regions near the inlet and outlet flows where we can safely
+add and remove RBCs. When an RBC gamma_i is within the outlet region, we
+subtract off the velocity due to gamma_i from the entire system and move
+gamma_i into an inlet region such that the arising RBC configuration is
+collision-free."
+"""
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..surfaces import SpectralSurface
+
+
+@dataclasses.dataclass
+class Region:
+    """A spherical region used as inlet or outlet zone."""
+
+    center: np.ndarray
+    radius: float
+
+    def contains(self, x: np.ndarray) -> bool:
+        return bool(np.linalg.norm(np.asarray(x, float) - self.center)
+                    <= self.radius)
+
+
+class OutletRecycler:
+    """Moves cells that reached an outlet region back to an inlet region."""
+
+    def __init__(self, inlets: Sequence[Region], outlets: Sequence[Region],
+                 signed_distance: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+                 seed: int = 0):
+        self.inlets = list(inlets)
+        self.outlets = list(outlets)
+        self.signed_distance = signed_distance
+        self.rng = np.random.default_rng(seed)
+
+    def _cell_radius(self, cell: SpectralSurface) -> float:
+        c = cell.centroid()
+        return float(np.linalg.norm(cell.points - c, axis=1).max())
+
+    def _free_spot(self, radius: float, others: Sequence[SpectralSurface],
+                   tries: int = 40) -> Optional[np.ndarray]:
+        centers = [o.centroid() for o in others]
+        radii = [self._cell_radius(o) for o in others]
+        for _ in range(tries):
+            inlet = self.inlets[self.rng.integers(len(self.inlets))]
+            offset = self.rng.normal(size=3)
+            offset *= self.rng.uniform(0, max(inlet.radius - radius, 0.0)) / \
+                max(np.linalg.norm(offset), 1e-12)
+            cand = inlet.center + offset
+            if self.signed_distance is not None and \
+                    -float(self.signed_distance(cand[None, :])[0]) < radius:
+                continue
+            ok = all(np.linalg.norm(cand - c) > (radius + r) * 1.05
+                     for c, r in zip(centers, radii))
+            if ok:
+                return cand
+        return None
+
+    def recycle(self, cells: Sequence[SpectralSurface]) -> list[int]:
+        """Teleport outlet-region cells to collision-free inlet spots.
+
+        Mutates the cell surfaces in place; returns the recycled indices.
+        """
+        moved = []
+        for i, cell in enumerate(cells):
+            c = cell.centroid()
+            if not any(o.contains(c) for o in self.outlets):
+                continue
+            radius = self._cell_radius(cell)
+            others = [cells[j] for j in range(len(cells)) if j != i]
+            spot = self._free_spot(radius, others)
+            if spot is None:
+                continue
+            cell.set_positions(cell.X + (spot - c))
+            moved.append(i)
+        return moved

@@ -1,0 +1,18 @@
+"""Shared fixtures: small, fast numerics configurations."""
+import numpy as np
+import pytest
+
+from repro.config import NumericsOptions
+
+
+@pytest.fixture
+def small_opts() -> NumericsOptions:
+    """Coarse-but-fast parameters for solver tests."""
+    return NumericsOptions(patch_quad=7, check_order=5, upsample_eta=1,
+                           check_r_factor=0.2, gmres_max_iter=40,
+                           gmres_tol=1e-10)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

@@ -1,0 +1,72 @@
+"""Additional boundary-condition and port-geometry tests."""
+import numpy as np
+import pytest
+
+from repro.config import NumericsOptions
+from repro.patches import capsule_tube, cube_sphere
+from repro.vessel.boundary_conditions import InletOutlet, parabolic_bc, port_mask
+
+
+@pytest.fixture(scope="module")
+def opts():
+    return NumericsOptions(patch_quad=7)
+
+
+class TestPortMask:
+    def test_mask_selects_cap_nodes(self, opts):
+        vessel = capsule_tube(length=8.0, radius=1.5, refine=0, options=opts)
+        d = vessel.coarse()
+        lo = d.points[:, 2].min()
+        port = InletOutlet(center=[0, 0, lo], direction=[0, 0, 1],
+                           radius=1.5, flux=1.0, cap_depth=0.4)
+        m = port_mask(d.points, port)
+        assert m.any()
+        # every selected node is near the low end
+        assert d.points[m, 2].max() < 0.0
+
+    def test_direction_normalized(self):
+        port = InletOutlet(center=[0, 0, 0], direction=[0, 0, 5.0],
+                           radius=1.0, flux=1.0)
+        assert np.isclose(np.linalg.norm(port.direction), 1.0)
+
+
+class TestParabolicBC:
+    def test_three_port_balance(self, opts):
+        # Sphere with one inflow and two outflows: flux must balance to 0
+        # even when the requested fluxes do not.
+        s = cube_sphere(refine=0, radius=2.0, options=opts)
+        ports = [
+            InletOutlet(center=[0, 0, -2.0], direction=[0, 0, 1],
+                        radius=1.0, flux=2.0, cap_depth=0.5),
+            InletOutlet(center=[0, 0, 2.0], direction=[0, 0, 1],
+                        radius=1.0, flux=-0.7, cap_depth=0.5),
+            InletOutlet(center=[2.0, 0, 0], direction=[1, 0, 0],
+                        radius=1.0, flux=-0.6, cap_depth=0.5),
+        ]
+        g = parabolic_bc(s, ports)
+        d = s.coarse()
+        flux = np.einsum("n,nk,nk->", d.weights, g, d.normals)
+        assert abs(flux) < 1e-10
+        assert np.abs(g).max() > 0
+
+    def test_no_ports_gives_zero(self, opts):
+        s = cube_sphere(refine=0, options=opts)
+        g = parabolic_bc(s, [])
+        assert np.abs(g).max() == 0.0
+
+    def test_profile_is_smooth_at_rim(self, opts):
+        # Squared-parabola profile: values just inside the rim are small.
+        vessel = capsule_tube(length=8.0, radius=1.5, refine=0, options=opts)
+        d = vessel.coarse()
+        lo = d.points[:, 2].min()
+        port = InletOutlet(center=[0, 0, lo], direction=[0, 0, 1],
+                           radius=1.5, flux=1.0, cap_depth=0.4)
+        g = parabolic_bc(vessel, [port])
+        m = port_mask(d.points, port)
+        rel = d.points[m] - port.center
+        axial = rel @ port.direction
+        radial = np.linalg.norm(rel - axial[:, None] * port.direction, axis=1)
+        rim = radial > 0.9 * port.radius
+        if rim.any():
+            core = radial < 0.3 * port.radius
+            assert np.abs(g[m][rim]).max() < 0.25 * np.abs(g[m][core]).max()

@@ -1,0 +1,80 @@
+"""Failure-injection and edge-case tests across modules."""
+import numpy as np
+import pytest
+
+from repro.bie import BoundarySolver
+from repro.collision import NCPSolver, solve_lcp
+from repro.config import NumericsOptions
+from repro.core import Simulation, SimulationConfig
+from repro.fmm import Octree
+from repro.patches import cube_sphere
+from repro.surfaces import SpectralSurface, sphere
+from repro.vesicle import SingularSelfInteraction
+
+
+class TestDegenerateInputs:
+    def test_octree_coincident_points(self):
+        pts = np.zeros((50, 3))
+        tree = Octree(pts, max_leaf=8, max_level=4)
+        # coincident points cannot be split; the level cap must stop it
+        assert tree.depth() <= 4
+        seen = np.concatenate([tree.nodes[l].indices for l in tree.leaves()])
+        assert seen.size == 50
+
+    def test_lcp_all_separated(self):
+        # strictly positive q: lambda = 0 is the solution
+        res = solve_lcp(lambda x: 2 * x, np.array([0.5, 1.0, 0.2]))
+        assert res.converged
+        assert np.allclose(res.lam, 0.0)
+
+    def test_ncp_empty_cell_list(self):
+        ncp = NCPSolver(boundary_meshes=[])
+        out, rep = ncp.project([], [], [], dt=0.1)
+        assert out == [] and not rep.contact_active
+
+    def test_simulation_volume_fraction_requires_lumen(self):
+        sim = Simulation([sphere(1.0, order=4)],
+                         config=SimulationConfig(with_collisions=False))
+        with pytest.raises(ValueError):
+            sim.volume_fraction()
+        assert sim.volume_fraction(lumen_volume=100.0) > 0
+
+    def test_surface_wrong_order_grid(self):
+        s = sphere(1.0, order=6)
+        with pytest.raises(ValueError):
+            SpectralSurface(s.X, order=8)
+
+
+class TestSolverRobustness:
+    def test_bie_zero_rhs_zero_solution(self):
+        opts = NumericsOptions(patch_quad=7, check_order=4, upsample_eta=1)
+        s = cube_sphere(refine=0, options=opts)
+        solver = BoundarySolver(s, kernel="laplace", options=opts)
+        phi, rep = solver.solve(np.zeros(solver.N))
+        assert rep.converged
+        assert np.abs(phi).max() < 1e-12
+
+    def test_bie_linearity(self, rng):
+        opts = NumericsOptions(patch_quad=7, check_order=4, upsample_eta=1)
+        s = cube_sphere(refine=0, options=opts)
+        solver = BoundarySolver(s, kernel="laplace", options=opts)
+        x1 = rng.normal(size=solver.N)
+        x2 = rng.normal(size=solver.N)
+        a1 = solver.apply((2 * x1 - 3 * x2)[:, None]).ravel()
+        a2 = 2 * solver.apply(x1[:, None]).ravel() - \
+            3 * solver.apply(x2[:, None]).ravel()
+        assert np.abs(a1 - a2).max() < 1e-10
+
+    def test_self_interaction_zero_density(self):
+        s = sphere(1.0, order=5)
+        op = SingularSelfInteraction(s)
+        u = op.apply(np.zeros((6, 12, 3)))
+        assert np.abs(u).max() == 0.0
+
+    def test_stepper_zero_dt_is_identity_up_to_contact(self):
+        s = sphere(1.0, order=5)
+        sim = Simulation([s], config=SimulationConfig(
+            dt=0.0, with_collisions=False))
+        X0 = sim.cells[0].X.copy()
+        sim.step()
+        assert np.abs(sim.cells[0].X - X0).max() < 1e-10

@@ -1,0 +1,103 @@
+"""Octree and kernel-independent treecode tests."""
+import numpy as np
+import pytest
+
+from repro.fmm import KernelIndependentTreecode, Octree, laplace_slp_fmm, stokes_slp_fmm
+from repro.kernels import laplace_slp_apply, stokes_slp_apply
+
+
+class TestOctree:
+    def test_every_point_in_exactly_one_leaf(self, rng):
+        pts = rng.normal(size=(500, 3))
+        tree = Octree(pts, max_leaf=32)
+        seen = np.concatenate([tree.nodes[l].indices for l in tree.leaves()])
+        assert np.array_equal(np.sort(seen), np.arange(500))
+
+    def test_leaf_capacity(self, rng):
+        pts = rng.normal(size=(1000, 3))
+        tree = Octree(pts, max_leaf=40)
+        for l in tree.leaves():
+            assert tree.nodes[l].indices.size <= 40
+
+    def test_children_inside_parent(self, rng):
+        pts = rng.uniform(size=(300, 3))
+        tree = Octree(pts, max_leaf=20)
+        for n in tree.nodes:
+            if n.parent >= 0:
+                p = tree.nodes[n.parent]
+                assert np.all(np.abs(n.center - p.center) <= p.half + 1e-12)
+                assert np.isclose(n.half, 0.5 * p.half)
+
+    def test_points_inside_their_leaf_box(self, rng):
+        pts = rng.normal(size=(200, 3))
+        tree = Octree(pts, max_leaf=16)
+        for l in tree.leaves():
+            node = tree.nodes[l]
+            d = np.abs(pts[node.indices] - node.center)
+            assert np.all(d <= node.half * (1 + 1e-9))
+
+    def test_single_point(self):
+        tree = Octree(np.zeros((1, 3)))
+        assert tree.n_nodes == 1
+
+
+class TestTreecode:
+    def test_stokes_matches_direct(self, rng):
+        n = 3000
+        src = rng.normal(size=(n, 3))
+        den = rng.normal(size=(n, 3)) / n
+        trg = rng.normal(size=(60, 3)) * 1.5
+        ref = stokes_slp_apply(src, den, trg)
+        u = stokes_slp_fmm(src, den, trg)
+        assert np.abs(u - ref).max() / np.abs(ref).max() < 2e-2
+
+    def test_laplace_matches_direct(self, rng):
+        n = 3000
+        src = rng.normal(size=(n, 3))
+        q = rng.normal(size=n) / n
+        trg = rng.normal(size=(60, 3)) * 1.5
+        ref = laplace_slp_apply(src, q, trg)
+        u = laplace_slp_fmm(src, q, trg)
+        assert np.abs(u - ref).max() / np.abs(ref).max() < 5e-3
+
+    def test_accuracy_improves_with_equiv_resolution(self, rng):
+        n = 2000
+        src = rng.normal(size=(n, 3))
+        q = rng.normal(size=n) / n
+        trg = rng.normal(size=(40, 3)) * 2.0
+        ref = laplace_slp_apply(src, q, trg)
+        errs = []
+        for e in (3, 6):
+            u = laplace_slp_fmm(src, q, trg, equiv_points_per_edge=e)
+            errs.append(np.abs(u - ref).max())
+        assert errs[1] < errs[0] * 0.5
+
+    def test_far_targets_use_multipoles(self, rng):
+        n = 2000
+        src = rng.normal(size=(n, 3)) * 0.5
+        den = rng.normal(size=(n, 3)) / n
+        trg = rng.normal(size=(50, 3)) + 20.0
+        tc = KernelIndependentTreecode(src, den, "stokes_slp")
+        u = tc.evaluate(trg)
+        assert tc.stats["p2p"] == 0       # everything well-separated
+        ref = stokes_slp_apply(src, den, trg)
+        assert np.abs(u - ref).max() / np.abs(ref).max() < 1e-3
+
+    def test_self_evaluation_skips_zero_distance(self, rng):
+        n = 500
+        src = rng.normal(size=(n, 3))
+        den = rng.normal(size=(n, 3)) / n
+        tc = KernelIndependentTreecode(src, den, "stokes_slp", max_leaf=64)
+        u = tc.evaluate(src)
+        ref = stokes_slp_apply(src, den, src)
+        assert np.abs(u - ref).max() / np.abs(ref).max() < 5e-2
+
+    def test_linearity(self, rng):
+        n = 800
+        src = rng.normal(size=(n, 3))
+        q1 = rng.normal(size=n)
+        q2 = rng.normal(size=n)
+        trg = rng.normal(size=(20, 3)) * 3
+        u = laplace_slp_fmm(src, q1 + q2, trg)
+        u12 = laplace_slp_fmm(src, q1, trg) + laplace_slp_fmm(src, q2, trg)
+        assert np.abs(u - u12).max() < 1e-10 * max(1.0, np.abs(u).max()) + 1e-8

@@ -1,0 +1,107 @@
+"""Tests for the GMRES implementation and block helpers."""
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.linalg import flatten_fields, gmres, unflatten_fields
+
+
+class TestGMRES:
+    def test_matches_direct_solve(self, rng):
+        n = 40
+        A = np.eye(n) + 0.1 * rng.normal(size=(n, n))
+        b = rng.normal(size=n)
+        res = gmres(lambda x: A @ x, b, tol=1e-12, max_iter=n)
+        assert res.converged
+        assert np.allclose(res.x, np.linalg.solve(A, b), atol=1e-8)
+
+    def test_iteration_cap_respected(self, rng):
+        n = 60
+        A = np.eye(n) + 0.5 * rng.normal(size=(n, n))
+        b = rng.normal(size=n)
+        res = gmres(lambda x: A @ x, b, tol=1e-14, max_iter=5)
+        assert res.iterations <= 5
+        assert not res.converged or res.final_residual <= 1e-14
+
+    def test_zero_rhs(self):
+        res = gmres(lambda x: x, np.zeros(7))
+        assert res.converged
+        assert np.all(res.x == 0)
+        assert res.iterations == 0
+
+    def test_identity_converges_in_one(self, rng):
+        b = rng.normal(size=12)
+        res = gmres(lambda x: x, b, tol=1e-12, max_iter=5)
+        assert res.converged
+        assert res.iterations <= 1
+        assert np.allclose(res.x, b)
+
+    def test_restart_still_converges(self, rng):
+        n = 30
+        A = np.diag(np.linspace(1, 3, n))
+        b = rng.normal(size=n)
+        res = gmres(lambda x: A @ x, b, tol=1e-10, max_iter=100, restart=7)
+        assert res.converged
+        assert np.allclose(A @ res.x, b, atol=1e-8)
+
+    def test_initial_guess_used(self, rng):
+        n = 25
+        A = np.eye(n) * 2.0
+        b = rng.normal(size=n)
+        res = gmres(lambda x: A @ x, b, x0=b / 2.0, tol=1e-12)
+        assert res.converged
+        assert res.iterations == 0
+
+    def test_residual_history_monotone_within_cycle(self, rng):
+        n = 50
+        A = np.eye(n) + 0.2 * rng.normal(size=(n, n))
+        b = rng.normal(size=n)
+        res = gmres(lambda x: A @ x, b, tol=1e-13, max_iter=n)
+        r = np.array(res.residuals)
+        assert np.all(np.diff(r[:-1]) <= 1e-12)
+
+    def test_callback_invoked(self, rng):
+        calls = []
+        A = np.diag(np.arange(1.0, 11.0))
+        gmres(lambda x: A @ x, np.ones(10), tol=1e-12,
+              callback=lambda k, r: calls.append((k, r)))
+        assert calls and calls[0][0] == 1
+
+    def test_spd_large_spectrum(self, rng):
+        n = 80
+        Q, _ = np.linalg.qr(rng.normal(size=(n, n)))
+        A = Q @ np.diag(np.linspace(0.5, 10.0, n)) @ Q.T
+        b = rng.normal(size=n)
+        res = gmres(lambda x: A @ x, b, tol=1e-10, max_iter=n)
+        assert res.converged
+
+
+class TestBlocks:
+    def test_roundtrip(self, rng):
+        fields = [rng.normal(size=(4, 3)), rng.normal(size=7),
+                  rng.normal(size=(2, 2, 2))]
+        flat, shapes = flatten_fields(fields)
+        back = unflatten_fields(flat, shapes)
+        for a, b in zip(fields, back):
+            assert np.allclose(a, b)
+
+    def test_empty(self):
+        flat, shapes = flatten_fields([])
+        assert flat.size == 0
+        assert unflatten_fields(flat, shapes) == []
+
+    def test_size_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            unflatten_fields(np.zeros(5), [(2, 3)])
+
+    @given(st.lists(st.integers(min_value=1, max_value=6),
+                    min_size=1, max_size=4))
+    @settings(max_examples=25, deadline=None)
+    def test_property_roundtrip_any_shapes(self, sizes):
+        rng = np.random.default_rng(0)
+        fields = [rng.normal(size=(s, 3)) for s in sizes]
+        flat, shapes = flatten_fields(fields)
+        assert flat.size == sum(3 * s for s in sizes)
+        back = unflatten_fields(flat, shapes)
+        for a, b in zip(fields, back):
+            assert np.array_equal(a, b)

@@ -1,0 +1,225 @@
+"""Polynomial patch, patch surface, closest point and forest tests."""
+import numpy as np
+import pytest
+
+from repro.config import NumericsOptions
+from repro.patches import (
+    ChebPatch,
+    PatchSurface,
+    QuadForest,
+    capsule_tube,
+    cheb_diff_matrix,
+    closest_point_on_patch,
+    cube_sphere,
+    deformed_sphere,
+    surface_closest_point,
+    torus_surface,
+)
+
+
+def _poly_patch(n=8):
+    def fn(u, v):
+        return np.column_stack([u, v, u ** 2 - 0.5 * v ** 3 + u * v])
+    return ChebPatch.from_function(fn, n), fn
+
+
+class TestChebPatch:
+    def test_evaluate_reproduces_polynomial(self):
+        patch, fn = _poly_patch()
+        uv = np.array([[0.3, -0.7], [0.0, 0.0], [1.0, -1.0]])
+        assert np.allclose(patch.evaluate(uv), fn(uv[:, 0], uv[:, 1]),
+                           atol=1e-12)
+
+    def test_derivatives_fd(self):
+        patch, _ = _poly_patch()
+        uv = np.array([[0.2, 0.4]])
+        X, Xu, Xv, Xuu, Xuv, Xvv = patch.derivatives(uv, second=True)
+        h = 1e-6
+        fdu = (patch.evaluate(uv + [h, 0]) - patch.evaluate(uv - [h, 0])) / (2 * h)
+        fdv = (patch.evaluate(uv + [0, h]) - patch.evaluate(uv - [0, h])) / (2 * h)
+        assert np.allclose(Xu, fdu, atol=1e-6)
+        assert np.allclose(Xv, fdv, atol=1e-6)
+        # exact second derivative of z = u^2 - 0.5 v^3 + uv
+        assert np.isclose(Xuu[0, 2], 2.0, atol=1e-10)
+        assert np.isclose(Xvv[0, 2], -3.0 * 0.4, atol=1e-9)
+        assert np.isclose(Xuv[0, 2], 1.0, atol=1e-10)
+
+    def test_diff_matrix_exact_on_polynomials(self):
+        from repro.quadrature.interpolation import chebyshev_lobatto_nodes
+        n = 9
+        D = cheb_diff_matrix(n)
+        x = chebyshev_lobatto_nodes(n)
+        f = x ** 4 - 2 * x
+        assert np.allclose(D @ f, 4 * x ** 3 - 2, atol=1e-10)
+
+    def test_quadrature_area_flat(self):
+        def fn(u, v):
+            return np.column_stack([u, v, np.zeros_like(u)])
+        patch = ChebPatch.from_function(fn, 7)
+        assert np.isclose(patch.area(), 4.0, rtol=1e-12)
+        assert np.isclose(patch.size(), 2.0)
+
+    def test_subdivision_exact(self):
+        patch, fn = _poly_patch()
+        kids = patch.subdivide(2)
+        assert len(kids) == 4
+        # child 0 covers [-1,0]x[-1,0]: its center = parent (-0.5, -0.5)
+        child_center = kids[0].evaluate(np.array([[0.0, 0.0]]))
+        parent_val = patch.evaluate(np.array([[-0.5, -0.5]]))
+        assert np.allclose(child_center, parent_val, atol=1e-12)
+        assert np.isclose(sum(k.area() for k in kids), patch.area(), rtol=1e-4)
+
+    def test_collision_points_corners(self):
+        patch, fn = _poly_patch()
+        pts = patch.collision_points(5)
+        assert pts.shape == (25, 3)
+        assert np.allclose(pts[0], fn(np.array([-1.0]), np.array([-1.0]))[0])
+
+    def test_bounding_box_pad(self):
+        patch, _ = _poly_patch()
+        lo0, hi0 = patch.bounding_box()
+        lo1, hi1 = patch.bounding_box(pad=0.5)
+        assert np.allclose(lo1, lo0 - 0.5)
+        assert np.allclose(hi1, hi0 + 0.5)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            ChebPatch(np.zeros((3, 4, 3)))
+
+
+class TestSurfaces:
+    def test_cube_sphere_metrics(self, small_opts):
+        s = cube_sphere(refine=1, options=small_opts)
+        assert s.n_patches == 24
+        assert np.isclose(s.area(), 4 * np.pi, rtol=1e-6)
+        assert np.isclose(s.volume(), 4 * np.pi / 3, rtol=1e-6)
+
+    def test_torus_metrics(self, small_opts):
+        R, r = 2.0, 0.5
+        t = torus_surface(R=R, r=r, options=small_opts)
+        assert np.isclose(t.area(), 4 * np.pi ** 2 * R * r, rtol=1e-5)
+        assert np.isclose(t.volume(), 2 * np.pi ** 2 * R * r ** 2, rtol=1e-5)
+
+    def test_normals_outward(self, small_opts):
+        s = cube_sphere(refine=0, options=small_opts)
+        d = s.coarse()
+        rad = d.points / np.linalg.norm(d.points, axis=1, keepdims=True)
+        assert np.einsum("nk,nk->n", d.normals, rad).min() > 0.9
+
+    def test_refined_preserves_geometry(self, small_opts):
+        s = cube_sphere(refine=0, options=small_opts)
+        s4 = s.refined()
+        assert s4.n_patches == 4 * s.n_patches
+        assert np.isclose(s4.area(), s.area(), rtol=1e-3)
+
+    def test_fine_discretization_consistent(self, small_opts):
+        s = cube_sphere(refine=0, options=small_opts)
+        assert np.isclose(s.fine().weights.sum(), s.area(), rtol=1e-3)
+
+    def test_flip_orientation(self, small_opts):
+        s = cube_sphere(refine=0, options=small_opts)
+        assert np.isclose(s.flip_orientation().volume(), -s.volume())
+
+    def test_capsule_volume_reasonable(self, small_opts):
+        # pill of length 8, radius 1: V between cylinder(len 6) + sphere
+        cap = capsule_tube(length=8, radius=1, refine=0, options=small_opts)
+        assert 15.0 < cap.volume() < 30.0
+
+    def test_patch_sizes_positive(self, small_opts):
+        s = deformed_sphere(refine=0, stretch=(1, 1, 2), options=small_opts)
+        assert np.all(s.patch_sizes() > 0)
+
+    def test_collision_points_owner(self, small_opts):
+        s = cube_sphere(refine=0, options=small_opts)
+        pts, owner = s.collision_points(m=5)
+        assert pts.shape == (6 * 25, 3)
+        assert owner.max() == 5
+
+
+class TestClosestPoint:
+    def test_sphere_analytic(self, small_opts):
+        s = cube_sphere(refine=1, options=small_opts)
+        for x in ([2.0, 0.3, -0.4], [0.2, 0.1, 0.3], [0.0, -1.7, 0.0]):
+            x = np.array(x)
+            res = surface_closest_point(s, x)
+            expect = abs(np.linalg.norm(x) - 1.0)
+            assert abs(res.distance - expect) < 1e-4
+            assert np.allclose(res.point, x / np.linalg.norm(x), atol=1e-2)
+
+    def test_torus_analytic(self, small_opts):
+        R, r = 2.0, 0.5
+        t = torus_surface(R=R, r=r, options=small_opts)
+        x = np.array([3.5, 0.0, 0.0])
+        res = surface_closest_point(t, x)
+        assert abs(res.distance - 1.0) < 1e-8
+
+    def test_patch_level_newton(self):
+        patch, _ = _poly_patch()
+        # target slightly off an interior surface point along its normal,
+        # so the closest point is interior and the gradient vanishes there
+        base = patch.evaluate(np.array([[0.25, -0.3]]))[0]
+        n = patch.normals(np.array([[0.25, -0.3]]))[0]
+        x = base + 0.05 * n
+        uv, p, d = closest_point_on_patch(patch, x)
+        # gradient orthogonality at an interior minimum
+        _, Xu, Xv = patch.derivatives(uv[None, :])
+        rvec = p - x
+        assert d < 0.051
+        assert abs(rvec @ Xu[0]) < 1e-4
+        assert abs(rvec @ Xv[0]) < 1e-4
+
+    def test_candidate_restriction(self, small_opts):
+        s = cube_sphere(refine=0, options=small_opts)
+        x = np.array([2.0, 0.0, 0.0])
+        full = surface_closest_point(s, x)
+        restricted = surface_closest_point(s, x,
+                                           candidates=[full.patch_index])
+        assert abs(full.distance - restricted.distance) < 1e-12
+
+
+class TestForest:
+    def test_refine_all(self, small_opts):
+        F = QuadForest(cube_sphere(refine=0, options=small_opts).patches)
+        assert F.n_leaves == 6
+        F.refine()
+        assert F.n_leaves == 24
+        assert set(F.levels()) == {1}
+
+    def test_selective_refine(self, small_opts):
+        F = QuadForest(cube_sphere(refine=0, options=small_opts).patches)
+        n = F.refine(lambda node: node.tree == 0)
+        assert n == 1
+        assert F.n_leaves == 9
+
+    def test_refine_coarsen_roundtrip_geometry(self, small_opts):
+        s = cube_sphere(refine=0, options=small_opts)
+        F = QuadForest(s.patches)
+        ref_vals = [p.values.copy() for p in F.patches()]
+        F.refine()
+        F.coarsen()
+        assert F.n_leaves == 6
+        for a, b in zip(ref_vals, F.patches()):
+            assert np.allclose(a, b.values, atol=1e-10)
+
+    def test_morton_order_stable(self, small_opts):
+        F = QuadForest(cube_sphere(refine=0, options=small_opts).patches)
+        F.refine()
+        keys = [n.morton_key() for n in F.leaves]
+        assert keys == sorted(keys)
+
+    def test_partition_balanced_contiguous(self, small_opts):
+        F = QuadForest(cube_sphere(refine=0, options=small_opts).patches)
+        F.refine()
+        parts = F.partition(5)
+        sizes = [len(p) for p in parts]
+        assert sum(sizes) == 24
+        assert max(sizes) - min(sizes) <= 1
+        flat = [i for p in parts for i in p]
+        assert flat == list(range(24))
+
+    def test_total_area_preserved_under_refinement(self, small_opts):
+        s = cube_sphere(refine=0, options=small_opts)
+        F = QuadForest(s.patches)
+        F.refine()
+        area = sum(p.area() for p in F.patches())
+        assert np.isclose(area, s.area(), rtol=1e-3)

@@ -1,0 +1,106 @@
+"""Membrane physics tests: bending, tension, gravity."""
+import numpy as np
+import pytest
+
+from repro.physics import (
+    bending_energy,
+    bending_force,
+    gravity_force,
+    linearized_bending_apply,
+    tension_force,
+)
+from repro.physics.tension import TensionSolver
+from repro.surfaces import biconcave_rbc, ellipsoid, sphere, unit_sphere
+from repro.vesicle import SingularSelfInteraction
+
+
+class TestBending:
+    def test_force_vanishes_on_sphere(self):
+        for R in (0.5, 1.0, 3.0):
+            s = sphere(R, order=10)
+            f = bending_force(s, kappa=1.0)
+            assert np.abs(f).max() < 1e-8, R
+
+    def test_energy_of_sphere(self):
+        # E = (kappa/2) * H^2 * area = (kappa/2) (1/R^2)(4 pi R^2) = 2 pi kappa
+        s = sphere(2.0, order=8)
+        assert np.isclose(bending_energy(s, kappa=3.0), 6 * np.pi, rtol=1e-10)
+
+    def test_rbc_force_nonzero_and_normal(self):
+        rbc = biconcave_rbc(order=12)
+        f = bending_force(rbc)
+        g = rbc.geometry()
+        assert np.abs(f).max() > 1e-6
+        # force is purely normal by construction
+        tangential = f - np.einsum("ijk,ijk->ij", f, g.normal)[..., None] * g.normal
+        assert np.abs(tangential).max() < 1e-12
+
+    def test_relaxation_decreases_energy(self):
+        # Ellipsoid relaxing under bending flow through the true mobility.
+        e = ellipsoid(1.0, 1.0, 1.3, order=8)
+        op = SingularSelfInteraction(e)
+        E0 = bending_energy(e)
+        X = e.X.copy()
+        for _ in range(3):
+            f = bending_force(e)
+            u = op.apply(f)
+            X = X + 0.05 * u
+            e.set_positions(X)
+            op.refresh()
+        assert bending_energy(e) < E0
+
+    def test_linearized_operator_matches_scale(self):
+        rbc = biconcave_rbc(order=8)
+        dX = 1e-3 * rbc.geometry().normal
+        L = linearized_bending_apply(rbc, dX, kappa=2.0)
+        assert L.shape == rbc.X.shape
+        assert np.isfinite(L).all()
+        # linearity
+        L2 = linearized_bending_apply(rbc, 2 * dX, kappa=2.0)
+        assert np.allclose(L2, 2 * L, atol=1e-10)
+
+
+class TestTension:
+    def test_constant_tension_force_is_curvature_normal(self):
+        s = sphere(1.0, order=8)
+        g = s.geometry()
+        sig = np.ones((s.grid.nlat, s.grid.nphi))
+        f = tension_force(s, sig)
+        # grad sigma = 0; f = 2 sigma H n = -2 n on unit sphere
+        assert np.allclose(f, -2.0 * g.normal, atol=1e-8)
+
+    def test_solver_reduces_surface_divergence(self):
+        e = ellipsoid(1.0, 1.0, 1.2, order=8)
+        op = SingularSelfInteraction(e)
+        # background velocity = linear straining flow
+        pts = e.X
+        u_bg = np.stack([pts[:, :, 0], -pts[:, :, 1],
+                         np.zeros_like(pts[:, :, 0])], axis=-1)
+        solver = TensionSolver(e, op.apply, tol=1e-8, max_iter=80)
+        sigma, iters = solver.solve(u_bg)
+        u_total = u_bg + op.apply(tension_force(e, sigma))
+        div0 = e.surface_divergence(u_bg)
+        div1 = e.surface_divergence(u_total)
+        assert np.linalg.norm(div1) < 0.15 * np.linalg.norm(div0)
+
+
+class TestGravity:
+    def test_direction_and_magnitude(self):
+        s = unit_sphere(8)
+        g = s.geometry()
+        f = gravity_force(s, delta_rho=2.0, g_vector=(0.0, 0.0, -1.0))
+        expect = 2.0 * (-s.X[:, :, 2])[..., None] * g.normal
+        assert np.allclose(f, expect, atol=1e-12)
+
+    def test_zero_contrast(self):
+        s = unit_sphere(6)
+        assert np.abs(gravity_force(s, 0.0)).max() == 0.0
+
+    def test_net_gravity_force_scales_with_volume(self):
+        # int (drho g.x) n dS = drho g V  (divergence theorem component-wise)
+        s = sphere(1.5, order=10)
+        w = s.quadrature_weights()
+        f = gravity_force(s, delta_rho=1.0, g_vector=(0.0, 0.0, -1.0))
+        net = np.einsum("ij,ijk->k", w, f)
+        V = s.volume()
+        assert np.allclose(net, [0, 0, -V], atol=1e-8)

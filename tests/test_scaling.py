@@ -1,0 +1,113 @@
+"""Scaling model and harness tests."""
+import numpy as np
+import pytest
+
+from repro.scaling import (
+    KNL,
+    SKX,
+    CalibratedCosts,
+    ComponentModel,
+    strong_scaling_table,
+    weak_scaling_table,
+)
+from repro.scaling.harness import format_table, measure_imbalance_curve
+from repro.scaling.perfmodel import Workload
+
+
+@pytest.fixture(scope="module")
+def costs():
+    # fixed costs so tests don't re-measure the host
+    return CalibratedCosts()
+
+
+class TestMachineModels:
+    def test_nodes(self):
+        assert SKX.nodes(384) == 8
+        assert KNL.nodes(136) == 2
+
+    def test_knl_slower_per_node(self):
+        assert KNL.node_speed < SKX.node_speed
+
+
+class TestComponentModel:
+    def test_all_components_positive(self, costs):
+        m = ComponentModel(costs, SKX)
+        t = m.predict(Workload(n_rbc=4096, n_patches=8192), cores=384)
+        assert set(t) == {"COL", "BIE-solve", "BIE-FMM", "Other-FMM", "Other"}
+        assert all(v > 0 for v in t.values())
+
+    def test_strong_scaling_monotone_total(self, costs):
+        m = ComponentModel(costs, SKX)
+        w = Workload(n_rbc=40960, n_patches=40960)
+        times = [sum(m.predict(w, c).values()) for c in (384, 1536, 6144)]
+        assert times[0] > times[1] > times[2]
+
+    def test_efficiency_below_one_at_scale(self, costs):
+        m = ComponentModel(costs, SKX)
+        w = Workload(n_rbc=40960, n_patches=40960)
+        t1 = sum(m.predict(w, 384).values())
+        t2 = sum(m.predict(w, 12288).values())
+        eff = t1 * 384 / (t2 * 12288)
+        assert 0.2 < eff < 0.95
+
+    def test_imbalance_callable_used(self, costs):
+        flat = ComponentModel(costs, SKX, imbalance=1.0)
+        lumpy = ComponentModel(costs, SKX, imbalance=2.0)
+        w = Workload(n_rbc=1000, n_patches=1000)
+        assert sum(lumpy.predict(w, 384).values()) > \
+            sum(flat.predict(w, 384).values())
+
+
+class TestImbalanceCurve:
+    def test_decreasing_with_grain(self):
+        imb = measure_imbalance_curve()
+        assert imb(16) > imb(1024) >= 1.0
+
+
+class TestTables:
+    def test_strong_table_matches_paper_shape(self, costs):
+        rows = strong_scaling_table(costs=costs)
+        assert rows[0].efficiency == 1.0
+        assert rows[0].total_time == pytest.approx(11257, rel=0.01)
+        effs = [r.efficiency for r in rows]
+        assert all(a >= b for a, b in zip(effs, effs[1:]))
+        # paper: 0.49 at 12288 cores; require same ballpark
+        assert 0.35 < rows[-1].efficiency < 0.7
+        # COL+BIE scales better than total (paper: 0.66 vs 0.49)
+        assert rows[-1].col_bie_efficiency > rows[-1].efficiency
+
+    def test_weak_table_skx(self, costs):
+        rows = weak_scaling_table(costs=costs)
+        assert rows[1].efficiency == 1.0   # reference at 192 cores
+        assert rows[-1].efficiency < 1.0
+        assert rows[-1].cores == 12288
+        assert rows[-1].n_rbc == 4096 * 256
+
+    def test_weak_table_knl_worse_than_skx(self, costs):
+        skx = weak_scaling_table(costs=costs)
+        knl = weak_scaling_table(machine=KNL, rbc_per_node=512,
+                                 patches_per_node=1024,
+                                 node_counts=(2, 8, 32, 128, 512),
+                                 volume_fractions=(0.17, 0.19, 0.20, 0.23, 0.26),
+                                 collision_fractions=(0.10, 0.15, 0.13, 0.17, 0.15),
+                                 ref_index=0, costs=costs)
+        assert knl[-1].efficiency < skx[-1].efficiency
+
+    def test_breakdown_dominated_by_fmm(self, costs):
+        # Paper: "the vast majority of compute time is spent in FMM".
+        rows = strong_scaling_table(costs=costs)
+        bd = rows[0].breakdown
+        fmm = bd["BIE-FMM"] + bd["Other-FMM"]
+        assert fmm > bd["COL"] + bd["BIE-solve"]
+
+    def test_format_table_renders(self, costs):
+        rows = strong_scaling_table(costs=costs)
+        txt = format_table(rows)
+        assert "cores" in txt and "efficiency" in txt
+        txt2 = format_table(weak_scaling_table(costs=costs), weak=True)
+        assert "vol frac" in txt2
+
+    def test_row_serialization(self, costs):
+        rows = strong_scaling_table(costs=costs)
+        d = rows[0].as_dict()
+        assert d["cores"] == 384 and "breakdown" in d

@@ -1,0 +1,130 @@
+"""Differential-geometry tests on spectral surfaces."""
+import numpy as np
+import pytest
+
+from repro.surfaces import SpectralSurface, biconcave_rbc, ellipsoid, sphere, unit_sphere
+
+
+class TestSphereGeometry:
+    def test_area_volume_exact(self):
+        s = sphere(2.5, order=10)
+        assert np.isclose(s.area(), 4 * np.pi * 2.5 ** 2, rtol=1e-12)
+        assert np.isclose(s.volume(), 4 / 3 * np.pi * 2.5 ** 3, rtol=1e-12)
+
+    def test_curvatures(self):
+        s = sphere(2.0, order=8)
+        g = s.geometry()
+        assert np.allclose(g.H, -0.5, atol=1e-11)
+        assert np.allclose(g.K, 0.25, atol=1e-11)
+
+    def test_normals_outward_unit(self):
+        s = sphere(1.0, center=(1.0, -1.0, 2.0), order=8)
+        g = s.geometry()
+        rad = (s.X - np.array([1.0, -1.0, 2.0]))
+        rad /= np.linalg.norm(rad, axis=-1, keepdims=True)
+        assert np.allclose(np.einsum("ijk,ijk->ij", g.normal, rad), 1.0,
+                           atol=1e-10)
+
+    def test_centroid(self):
+        s = sphere(1.3, center=(0.5, 0.25, -2.0), order=10)
+        assert np.allclose(s.centroid(), [0.5, 0.25, -2.0], atol=1e-10)
+
+    def test_reduced_volume_one(self):
+        assert np.isclose(unit_sphere(8).reduced_volume(), 1.0, atol=1e-12)
+
+
+class TestOperators:
+    def test_laplace_beltrami_eigenfunctions(self):
+        R = 1.7
+        s = sphere(R, order=10)
+        for f, lam in [(s.X[:, :, 2], 2.0), (s.X[:, :, 0], 2.0),
+                       (s.X[:, :, 0] * s.X[:, :, 1], 6.0)]:
+            lb = s.laplace_beltrami(f)
+            assert np.abs(lb + lam * f / R ** 2).max() < 1e-9
+
+    def test_divergence_of_position_is_two(self):
+        e = ellipsoid(1.0, 1.4, 0.8, order=12)
+        dv = e.surface_divergence(e.X)
+        assert np.abs(dv - 2.0).max() < 1e-9
+
+    def test_gradient_tangent_to_surface(self):
+        e = ellipsoid(1.0, 1.2, 0.9, order=10)
+        g = e.geometry()
+        grad = e.surface_gradient(e.X[:, :, 2])
+        dot = np.einsum("ijk,ijk->ij", grad, g.normal)
+        assert np.abs(dot).max() < 1e-4
+
+    def test_integral_of_lb_vanishes(self):
+        # int_Gamma Delta_gamma f dS = 0 on closed surfaces; spectral
+        # convergence in the order (9.6e-6 at p=20, 0.027 at p=8).
+        rbc = biconcave_rbc(order=16)
+        w = rbc.quadrature_weights()
+        lb = rbc.laplace_beltrami(rbc.X[:, :, 0] ** 2)
+        assert abs((w * lb).sum()) < 1e-3
+
+    def test_gradient_of_constant_zero(self):
+        s = sphere(1.0, order=6)
+        grad = s.surface_gradient(np.ones((s.grid.nlat, s.grid.nphi)))
+        assert np.abs(grad).max() < 1e-10
+
+
+class TestShapes:
+    def test_rbc_reduced_volume(self):
+        rbc = biconcave_rbc(order=16)
+        nu = rbc.reduced_volume()
+        assert 0.55 < nu < 0.75  # biconcave discocyte ballpark
+
+    def test_rbc_scales(self):
+        r1 = biconcave_rbc(radius=1.0, order=8)
+        r2 = biconcave_rbc(radius=2.0, order=8)
+        assert np.isclose(r2.volume() / r1.volume(), 8.0, rtol=1e-10)
+
+    def test_ellipsoid_volume(self):
+        e = ellipsoid(1.0, 2.0, 3.0, order=12)
+        assert np.isclose(e.volume(), 4 / 3 * np.pi * 6.0, rtol=1e-10)
+
+
+class TestTransformsOfSurfaces:
+    def test_translation(self):
+        s = unit_sphere(6)
+        t = s.translated([1.0, 2.0, 3.0])
+        assert np.allclose(t.centroid(), [1, 2, 3], atol=1e-10)
+        assert np.isclose(t.area(), s.area())
+
+    def test_rotation_preserves_geometry(self):
+        rbc = biconcave_rbc(order=10)
+        th = 0.7
+        R = np.array([[np.cos(th), -np.sin(th), 0],
+                      [np.sin(th), np.cos(th), 0], [0, 0, 1.0]])
+        r = rbc.rotated(R)
+        assert np.isclose(r.area(), rbc.area(), rtol=1e-10)
+        assert np.isclose(r.volume(), rbc.volume(), rtol=1e-10)
+
+    def test_scaling(self):
+        s = unit_sphere(6).scaled(2.0)
+        assert np.isclose(s.volume(), 4 / 3 * np.pi * 8, rtol=1e-10)
+
+    def test_upsample_exact(self):
+        rbc = biconcave_rbc(order=8)
+        up = rbc.upsampled(16)
+        assert np.isclose(up.area(), rbc.area(), rtol=1e-4)
+        assert np.isclose(up.volume(), rbc.volume(), rtol=1e-4)
+
+    def test_set_positions_invalidates_cache(self):
+        s = unit_sphere(6)
+        a0 = s.area()
+        s.set_positions(2.0 * s.X)
+        assert np.isclose(s.area(), 4 * a0, rtol=1e-10)
+
+    def test_quadrature_weights_integrate_area(self):
+        e = ellipsoid(1.0, 1.1, 0.9, order=10)
+        assert np.isclose(e.quadrature_weights().sum(), e.area(), rtol=1e-12)
+
+    def test_point_cloud_roundtrip(self):
+        s = unit_sphere(5)
+        s2 = SpectralSurface(s.points, order=5)
+        assert np.allclose(s2.X, s.X)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            SpectralSurface(np.zeros((4, 9, 3)), order=5)

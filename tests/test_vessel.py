@@ -1,0 +1,184 @@
+"""Vessel network, boundary-condition, filling, and recycling tests."""
+import numpy as np
+import networkx as nx
+import pytest
+
+from repro.patches import capsule_tube
+from repro.vessel import (
+    InletOutlet,
+    OutletRecycler,
+    VesselNetwork,
+    capsule_inlet_outlet_bc,
+    demo_bifurcation_network,
+    demo_tree_network,
+    fill_with_rbcs,
+)
+from repro.vessel.boundary_conditions import parabolic_bc
+from repro.vessel.recycling import Region
+from repro.surfaces import sphere
+
+
+class TestNetwork:
+    def test_terminals_of_bifurcation(self):
+        net = demo_bifurcation_network()
+        assert sorted(net.terminals()) == [0, 2, 3]
+
+    def test_signed_distance_straight_tube(self):
+        g = nx.Graph()
+        g.add_node(0, pos=(0, 0, 0), radius=1.0)
+        g.add_node(1, pos=(10, 0, 0), radius=1.0)
+        g.add_edge(0, 1)
+        net = VesselNetwork(g)
+        pts = np.array([[5.0, 0, 0], [5.0, 0.5, 0], [5.0, 2.0, 0],
+                        [-3.0, 0, 0]])
+        d = net.signed_distance(pts)
+        assert np.allclose(d, [-1.0, -0.5, 1.0, 2.0])
+
+    def test_tapered_radius(self):
+        g = nx.Graph()
+        g.add_node(0, pos=(0, 0, 0), radius=2.0)
+        g.add_node(1, pos=(10, 0, 0), radius=1.0)
+        g.add_edge(0, 1)
+        net = VesselNetwork(g)
+        d = net.signed_distance(np.array([[5.0, 0, 0]]))
+        assert np.isclose(d[0], -1.5)
+
+    def test_contains_and_volume(self):
+        net = demo_bifurcation_network()
+        lo, hi = net.bounding_box()
+        vol = net.lumen_volume(samples_per_axis=25)
+        assert vol > 0
+        center = np.asarray(net.graph.nodes[1]["pos"], float)
+        assert net.contains(center[None, :])[0]
+
+    def test_patch_surfaces_built_per_edge(self, small_opts):
+        net = demo_bifurcation_network(options=small_opts)
+        surfs = net.build_patch_surfaces(refine=0)
+        assert len(surfs) == 3
+        for s in surfs:
+            assert s.volume() > 0  # closed, outward
+
+    def test_tree_network_counts(self):
+        net = demo_tree_network(levels=2)
+        # binary tree: 1 + 2 + 4 nodes
+        assert net.graph.number_of_nodes() == 7
+        assert len(net.terminals()) >= 4
+
+    def test_missing_attrs_rejected(self):
+        g = nx.Graph()
+        g.add_node(0)
+        with pytest.raises(ValueError):
+            VesselNetwork(g)
+
+
+class TestBoundaryConditions:
+    def test_capsule_bc_zero_net_flux(self, small_opts):
+        vessel = capsule_tube(length=8.0, radius=1.5, refine=0,
+                              options=small_opts)
+        g = capsule_inlet_outlet_bc(vessel, axis=2, flux=2.0)
+        d = vessel.coarse()
+        flux = np.einsum("n,nk,nk->", d.weights, g, d.normals)
+        assert abs(flux) < 1e-10
+        assert np.abs(g).max() > 0
+
+    def test_walls_no_slip(self, small_opts):
+        vessel = capsule_tube(length=10.0, radius=1.0, refine=0,
+                              options=small_opts)
+        g = capsule_inlet_outlet_bc(vessel, axis=2, flux=1.0,
+                                    cap_fraction=0.1)
+        d = vessel.coarse()
+        mid = np.abs(d.points[:, 2]) < 2.0
+        assert np.abs(g[mid]).max() < 1e-12
+
+    def test_outlet_rebalance(self, small_opts):
+        vessel = capsule_tube(length=8.0, radius=1.5, refine=0,
+                              options=small_opts)
+        d = vessel.coarse()
+        lo = d.points[:, 2].min()
+        hi = d.points[:, 2].max()
+        ports = [
+            InletOutlet(center=[0, 0, lo], direction=[0, 0, 1],
+                        radius=1.5, flux=3.0, cap_depth=0.6),
+            InletOutlet(center=[0, 0, hi], direction=[0, 0, 1],
+                        radius=1.5, flux=-1.0, cap_depth=0.6),
+        ]
+        g = parabolic_bc(vessel, ports)
+        flux = np.einsum("n,nk,nk->", d.weights, g, d.normals)
+        assert abs(flux) < 1e-10
+
+
+class TestFilling:
+    @pytest.fixture(scope="class")
+    def tube_fill(self):
+        def sd(pts):
+            z = np.clip(pts[:, 2], -3.0, 3.0)
+            ax = np.column_stack([np.zeros(len(pts)), np.zeros(len(pts)), z])
+            return np.linalg.norm(pts - ax, axis=1) - 1.5
+        lumen = np.pi * 1.5 ** 2 * 6 + 4 / 3 * np.pi * 1.5 ** 3
+        return fill_with_rbcs(sd, (np.array([-1.5, -1.5, -4.5]),
+                                   np.array([1.5, 1.5, 4.5])),
+                              spacing=1.2, lumen_volume=lumen, order=5,
+                              shape="sphere", seed=2)
+
+    def test_cells_inside_domain(self, tube_fill):
+        for cell in tube_fill.cells:
+            r = np.linalg.norm(cell.points[:, :2], axis=1)
+            assert r.max() < 1.55
+
+    def test_no_pairwise_overlap(self, tube_fill):
+        c = tube_fill.centers
+        r = tube_fill.radii
+        n = len(r)
+        for i in range(n):
+            for j in range(i + 1, n):
+                d = np.linalg.norm(c[i] - c[j])
+                assert d >= r[i] + r[j] - 1e-9, (i, j)
+
+    def test_radii_within_bounds(self, tube_fill):
+        r0 = 0.35 * 1.2
+        assert np.all(tube_fill.radii >= 0.5 * r0 - 1e-12)
+        assert np.all(tube_fill.radii <= 2.0 * r0 + 1e-12)
+
+    def test_volume_fraction_positive(self, tube_fill):
+        assert 0.0 < tube_fill.volume_fraction < 0.7
+
+    def test_rbc_shape_option(self):
+        def sd(pts):
+            return np.linalg.norm(pts, axis=1) - 3.0
+        res = fill_with_rbcs(sd, (np.full(3, -3.0), np.full(3, 3.0)),
+                             spacing=1.5, lumen_volume=4 / 3 * np.pi * 27,
+                             order=5, shape="rbc", seed=0, max_cells=6)
+        assert res.n_cells <= 6
+        for cell in res.cells:
+            nu = cell.reduced_volume()
+            assert 0.5 < nu < 0.8  # biconcave cells
+
+    def test_empty_domain(self):
+        def sd(pts):
+            return np.ones(len(pts))  # nothing inside
+        res = fill_with_rbcs(sd, (np.zeros(3), np.ones(3)), spacing=0.5,
+                             lumen_volume=1.0)
+        assert res.n_cells == 0
+
+
+class TestRecycling:
+    def test_outlet_cell_moved_to_inlet(self):
+        inlet = Region(center=np.array([-5.0, 0, 0]), radius=2.0)
+        outlet = Region(center=np.array([5.0, 0, 0]), radius=2.0)
+        rec = OutletRecycler([inlet], [outlet])
+        cell = sphere(0.5, center=(5.0, 0, 0), order=5)
+        other = sphere(0.5, center=(0.0, 0, 0), order=5)
+        moved = rec.recycle([cell, other])
+        assert moved == [0]
+        assert np.linalg.norm(cell.centroid() - inlet.center) <= inlet.radius
+        # collision-free vs the other cell
+        assert np.linalg.norm(cell.centroid() - other.centroid()) > 1.0
+
+    def test_non_outlet_cells_untouched(self):
+        inlet = Region(center=np.array([-5.0, 0, 0]), radius=2.0)
+        outlet = Region(center=np.array([5.0, 0, 0]), radius=1.0)
+        rec = OutletRecycler([inlet], [outlet])
+        cell = sphere(0.5, center=(0.0, 0, 0), order=5)
+        X0 = cell.X.copy()
+        assert rec.recycle([cell]) == []
+        assert np.array_equal(cell.X, X0)
