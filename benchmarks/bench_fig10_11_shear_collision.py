@@ -8,7 +8,7 @@ spherical-harmonic orders, reference = finest dt.
 """
 import numpy as np
 
-from repro.core import Simulation, SimulationConfig
+from repro import Scenario, presets
 from repro.surfaces import biconcave_rbc
 
 
@@ -16,14 +16,10 @@ def _final_centroids(dt, T=0.8, order=5):
     c1 = biconcave_rbc(radius=1.0, order=order, center=(-1.6, 0.0, 0.45))
     c2 = biconcave_rbc(radius=1.0, order=order, center=(1.6, 0.0, -0.45))
 
-    def shear(pts):
-        u = np.zeros_like(pts)
-        u[:, 0] = pts[:, 2]
-        return u
-
-    cfg = SimulationConfig(dt=dt, background_flow=shear,
-                           with_collisions=True, bending_modulus=0.02)
-    sim = Simulation([c1, c2], config=cfg)
+    sim = (Scenario.builder()
+           .config(presets.shear(rate=1.0, dt=dt, bending_modulus=0.02))
+           .cells([c1, c2])
+           .build())
     sim.run(int(round(T / dt)))
     return sim.centroids()
 

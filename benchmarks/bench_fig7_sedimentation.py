@@ -8,11 +8,11 @@ quantity is the same — the lower-half volume fraction must increase.
 """
 import numpy as np
 
+import dataclasses
+
+from repro import Scenario, presets
 from repro.config import NumericsOptions
-from repro.core import Simulation, SimulationConfig
-from repro.surfaces import sphere
 from repro.patches import capsule_tube
-from repro.vessel import fill_with_rbcs
 
 
 def _lower_fraction(sim, lumen_half):
@@ -36,14 +36,16 @@ def _run():
     # Seed the cells in the *upper* half so settling is visible in a
     # short run (the paper's Fig. 7 initial state is also top-loaded
     # relative to its final state).
-    fill = fill_with_rbcs(sd, (np.array([-1.6, -1.6, -0.3]),
-                               np.array([1.6, 1.6, 3.5])), spacing=1.3,
-                          lumen_volume=vessel.volume(), order=5,
-                          shape="sphere", seed=4)
-    cfg = SimulationConfig(dt=0.08, gravity=(2.5, (0.0, 0.0, -1.0)),
-                           with_collisions=True, numerics=opts,
-                           bending_modulus=0.02)
-    sim = Simulation(fill.cells, vessel=vessel, boundary_bc=None, config=cfg)
+    cfg = dataclasses.replace(
+        presets.sedimentation(delta_rho=2.5, dt=0.08, bending_modulus=0.02),
+        numerics=opts)
+    sim = (Scenario.builder()
+           .config(cfg)
+           .vessel(vessel)
+           .fill(sd, (np.array([-1.6, -1.6, -0.3]),
+                      np.array([1.6, 1.6, 3.5])), spacing=1.3,
+                 order=5, shape="sphere", seed=4)
+           .build())
     lumen_half = vessel.volume() / 2.0
     vf0 = sim.volume_fraction()
     low0 = _lower_fraction(sim, lumen_half)

@@ -1,15 +1,20 @@
 """Quickstart: one red blood cell relaxing in quiescent fluid.
 
 Tour of the public API: build a biconcave RBC surface, inspect its
-geometry, and run a few locally-implicit time steps of pure bending
-relaxation (no background flow, no walls). The Helfrich energy must
-decrease monotonically.
+geometry, then assemble a scenario with the fluent builder — a
+:class:`repro.ReproConfig` preset plus composable force terms — and run
+a few locally-implicit time steps of pure bending relaxation (no
+background flow, no walls). The Helfrich energy must decrease
+monotonically.
+
+The configuration is a single serializable object: ``cfg.to_json()``
+round-trips through ``ReproConfig.from_json``, so a run's physics and
+numerics can be archived next to its outputs. (The old flag-style
+``SimulationConfig`` still works but is deprecated.)
 
 Run:  python examples/quickstart.py
 """
-import numpy as np
-
-from repro.core import Simulation, SimulationConfig
+from repro import ReproConfig, Scenario, presets
 from repro.physics import bending_energy
 from repro.surfaces import biconcave_rbc
 
@@ -23,19 +28,21 @@ def main() -> None:
     print(f"volume         : {cell.volume():.4f}")
     print(f"reduced volume : {cell.reduced_volume():.3f}  (sphere = 1, RBC ~ 0.64)")
 
-    # A Simulation couples membrane mechanics to the Stokes mobility.
-    cfg = SimulationConfig(dt=0.05, bending_modulus=0.05,
-                           with_collisions=False)
-    sim = Simulation([cell], config=cfg)
+    # A scenario couples membrane mechanics to the Stokes mobility; the
+    # relaxation preset is just bending, no collisions.
+    cfg = presets.relaxation(dt=0.05, bending_modulus=0.05)
+    assert ReproConfig.from_json(cfg.to_json()) == cfg  # archivable
+    sim = Scenario.builder().config(cfg).cell(cell).build()
 
+    kappa = cfg.bending_modulus
     print("\n=== bending relaxation ===")
     print(f"{'step':>4} {'t':>6} {'energy':>12} {'area':>10} {'volume':>10}")
     for k in range(6):
-        E = bending_energy(sim.cells[0], cfg.bending_modulus)
+        E = bending_energy(sim.cells[0], kappa)
         print(f"{k:>4} {sim.t:>6.2f} {E:>12.6f} "
               f"{sim.cells[0].area():>10.5f} {sim.cells[0].volume():>10.5f}")
         sim.step()
-    E = bending_energy(sim.cells[0], cfg.bending_modulus)
+    E = bending_energy(sim.cells[0], kappa)
     print(f"{6:>4} {sim.t:>6.2f} {E:>12.6f}")
     print("\nbending energy decreases as the biconcave shape relaxes; "
           "area/volume drift is the (first-order) time-stepping error.")

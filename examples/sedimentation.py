@@ -2,39 +2,39 @@
 
 Cells denser than the ambient fluid settle inside a closed capsule; the
 collision solver keeps the packing interference-free as the lower region
-crowds up. Reports the lower-half volume fraction over time, the paper's
+crowds up. The scenario is the ``presets.sedimentation`` configuration —
+bending plus a ``Gravity`` force term — assembled with the fluent
+builder. Reports the lower-half volume fraction over time, the paper's
 Fig. 7 observable (47% global -> ~55% local there).
 
 Run:  python examples/sedimentation.py
 """
 import numpy as np
 
-from repro.config import NumericsOptions
-from repro.core import Simulation, SimulationConfig
+from repro import Scenario, presets
 from repro.patches import capsule_tube
-from repro.vessel import fill_with_rbcs
 
 
 def main() -> None:
-    opts = NumericsOptions(patch_quad=7, check_order=4, upsample_eta=1,
-                           check_r_factor=0.25, gmres_max_iter=10)
-    container = capsule_tube(length=7.0, radius=1.6, refine=0, options=opts)
+    cfg = presets.sedimentation(delta_rho=1.5, dt=0.08,
+                                bending_modulus=0.02)
+    container = capsule_tube(length=7.0, radius=1.6, refine=0,
+                             options=cfg.numerics)
 
     def sd(pts):
         z = np.clip(pts[:, 2], -1.9, 1.9)
         ax = np.column_stack([np.zeros(len(pts)), np.zeros(len(pts)), z])
         return np.linalg.norm(pts - ax, axis=1) - 1.6
 
-    fill = fill_with_rbcs(sd, (np.array([-1.6, -1.6, -3.5]),
-                               np.array([1.6, 1.6, 3.5])), spacing=1.3,
-                          lumen_volume=container.volume(), order=5,
-                          shape="sphere", seed=4)
-    print(f"{fill.n_cells} cells at global volume fraction "
-          f"{fill.volume_fraction * 100:.1f}%")
-
-    cfg = SimulationConfig(dt=0.08, gravity=(1.5, (0.0, 0.0, -1.0)),
-                           numerics=opts, bending_modulus=0.02)
-    sim = Simulation(fill.cells, vessel=container, config=cfg)
+    sim = (Scenario.builder()
+           .config(cfg)
+           .vessel(container)
+           .fill(sd, (np.array([-1.6, -1.6, -3.5]),
+                      np.array([1.6, 1.6, 3.5])), spacing=1.3,
+                 order=5, shape="sphere", seed=4)
+           .build())
+    print(f"{len(sim.cells)} cells at global volume fraction "
+          f"{sim.volume_fraction() * 100:.1f}%")
     lower_half = container.volume() / 2.0
 
     def lower_fraction():

@@ -2,19 +2,23 @@
 
 Builds a smooth capsule vessel, prescribes parabolic inflow/outflow with
 zero net flux, fills the lumen with RBCs using the paper's filling
-algorithm (Sec. 5.1), and advances the fully coupled system: boundary
-integral solve for the wall correction u_Gamma each step, explicit
-cell-cell interactions, implicit self-interaction, and collision-free
-contact with the wall and between cells.
+algorithm (Sec. 5.1) — here through the scenario builder's ``fill()``
+stage — and advances the fully coupled system: boundary integral solve
+for the wall correction u_Gamma each step, explicit cell-cell
+interactions through the cached-evaluator backend, implicit
+self-interaction, and collision-free contact with the wall and between
+cells.
 
 Run:  python examples/vessel_flow.py
 """
+import dataclasses
+
 import numpy as np
 
+from repro import Scenario, presets
 from repro.config import NumericsOptions
-from repro.core import Simulation, SimulationConfig
 from repro.patches import capsule_tube
-from repro.vessel import capsule_inlet_outlet_bc, fill_with_rbcs
+from repro.vessel import capsule_inlet_outlet_bc
 
 
 def main() -> None:
@@ -34,16 +38,17 @@ def main() -> None:
         ax = np.column_stack([np.zeros(len(pts)), np.zeros(len(pts)), z])
         return np.linalg.norm(pts - ax, axis=1) - 1.6
 
-    fill = fill_with_rbcs(sd, (np.array([-1.6, -1.6, -4.0]),
-                               np.array([1.6, 1.6, 4.0])), spacing=1.5,
-                          lumen_volume=vessel.volume(), order=5,
-                          shape="sphere", seed=1)
+    cfg = dataclasses.replace(presets.vessel_flow(dt=0.05), numerics=opts)
+    sim = (Scenario.builder()
+           .config(cfg)
+           .vessel(vessel, bc=g)
+           .fill(sd, (np.array([-1.6, -1.6, -4.0]),
+                      np.array([1.6, 1.6, 4.0])), spacing=1.5,
+                 order=5, shape="sphere", seed=1)
+           .build())
     print(f"\n=== filling (paper Sec. 5.1) ===")
-    print(f"cells {fill.n_cells}, volume fraction "
-          f"{fill.volume_fraction * 100:.1f}%")
-
-    cfg = SimulationConfig(dt=0.05, numerics=opts, bending_modulus=0.02)
-    sim = Simulation(fill.cells, vessel=vessel, boundary_bc=g, config=cfg)
+    print(f"cells {len(sim.cells)}, volume fraction "
+          f"{sim.volume_fraction() * 100:.1f}%")
     print(f"degrees of freedom per step: {sim.n_dof()}")
 
     print(f"\n{'t':>5} {'mean z':>8} {'BIE iters':>10} {'contacts':>9}")

@@ -8,7 +8,23 @@ inventory and EXPERIMENTS.md for the paper-vs-measured record.
 
 Public API highlights
 ---------------------
-- :class:`repro.core.Simulation` — the simulation platform.
+- :class:`repro.Scenario` / :class:`repro.ScenarioBuilder` — the fluent
+  front door: ``Scenario.builder().config(presets.shear()).cells([...])
+  .backend("treecode").build()`` returns a ready simulation.
+- :class:`repro.ReproConfig` — the single serializable configuration
+  (time step, fluid, force terms, backend, numerics); validates on
+  construction and round-trips through ``to_dict``/``from_dict``/JSON.
+- :mod:`repro.presets` — named configs for the paper's scenarios
+  (``sedimentation``, ``shear``, ``vessel_flow``, ``relaxation``,
+  ``strong_scaling``, ``weak_scaling``).
+- :mod:`repro.physics.terms` — composable force terms (``Bending``,
+  ``Tension``, ``Gravity``, ``ShearFlow``, ``BackgroundFlow``) plus a
+  registry for user-defined ones.
+- :mod:`repro.core.interactions` — pluggable cell-cell interaction
+  backends: ``"direct"`` (exact pairwise) and ``"treecode"`` (far field
+  through :mod:`repro.fmm`).
+- :class:`repro.core.Simulation` — the simulation platform the builder
+  assembles.
 - :class:`repro.bie.BoundarySolver` — the parallel boundary solver
   (paper Sec. 3).
 - :class:`repro.collision.NCPSolver` — contact-free time stepping
@@ -17,10 +33,29 @@ Public API highlights
   filling algorithm.
 - :mod:`repro.scaling` — machine models and the strong/weak scaling
   harness that regenerates the paper's Figs. 4-6.
+
+Deprecation
+-----------
+``repro.core.SimulationConfig`` (flag-style physics selection) is
+deprecated: ``Simulation(cells, config=SimulationConfig(...))`` still
+runs, emitting a ``DeprecationWarning`` and converting via
+:meth:`ReproConfig.from_legacy`. New code should build a
+:class:`ReproConfig` — start from a preset and compose force terms.
 """
 from . import config
-from .config import NumericsOptions
+from .config import NumericsOptions, ReproConfig
+from . import presets
+from .core import Scenario, ScenarioBuilder, Simulation
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["config", "NumericsOptions", "__version__"]
+__all__ = [
+    "config",
+    "presets",
+    "NumericsOptions",
+    "ReproConfig",
+    "Scenario",
+    "ScenarioBuilder",
+    "Simulation",
+    "__version__",
+]

@@ -3,10 +3,18 @@
 All floating point work is done in float64. Tolerances collected here are the
 single source of truth used across modules so that tests, benchmarks and the
 library agree on what "converged" and "touching" mean.
+
+:class:`ReproConfig` is the single serializable configuration of a
+simulation: time step, fluid, composable force terms, interaction
+backend, collision handling and the :class:`NumericsOptions` bundle. It
+validates on construction and round-trips through ``to_dict`` /
+``from_dict`` / JSON; :mod:`repro.presets` ships named instances for the
+paper's scenarios.
 """
 from __future__ import annotations
 
 import dataclasses
+import json
 
 #: Working dtype for all geometry / density / velocity arrays.
 DTYPE = "float64"
@@ -74,3 +82,159 @@ class NumericsOptions:
     def fine_subpatches(self) -> int:
         """Number of subpatches in the fine discretization of one patch."""
         return 4 ** self.upsample_eta
+
+
+def _default_forces() -> list:
+    from .physics.terms import Bending
+    return [Bending()]
+
+
+@dataclasses.dataclass
+class ReproConfig:
+    """Unified, serializable configuration of a blood-flow simulation.
+
+    Replaces the deprecated ``SimulationConfig`` + loose
+    :class:`NumericsOptions` pair. Physics composes through ``forces``
+    (a list of :class:`repro.physics.terms.ForceTerm`), the cell-cell
+    summation strategy is chosen by ``backend`` (a key of
+    :data:`repro.core.interactions.BACKENDS`), and all numerical
+    tolerances live in the nested ``numerics`` bundle. Instances
+    validate on construction and round-trip losslessly through
+    :meth:`to_dict` / :meth:`from_dict` (and JSON) provided every force
+    term is serializable.
+    """
+
+    dt: float = 0.05
+    viscosity: float = DEFAULT_VISCOSITY
+    forces: list = dataclasses.field(default_factory=_default_forces)
+    backend: str = "direct"
+    backend_options: dict = dataclasses.field(default_factory=dict)
+    with_collisions: bool = True
+    collision_points_per_patch_edge: int = 12
+    numerics: NumericsOptions = dataclasses.field(
+        default_factory=NumericsOptions)
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # -- validation ---------------------------------------------------------
+    def validate(self) -> None:
+        """Raise ``ValueError`` listing every invalid field."""
+        from .core.interactions import BACKENDS
+        from .physics.terms import ForceTerm
+
+        errors = []
+        if not self.dt >= 0:
+            errors.append(f"dt must be non-negative, got {self.dt}")
+        if not self.viscosity > 0:
+            errors.append(f"viscosity must be positive, got {self.viscosity}")
+        if self.backend not in BACKENDS:
+            errors.append(f"unknown backend {self.backend!r}; "
+                          f"registered: {sorted(BACKENDS)}")
+        for t in self.forces:
+            if not isinstance(t, ForceTerm):
+                errors.append(f"forces entries must be ForceTerm, got {t!r}")
+        # Bending and Tension are singletons: the implicit operator and
+        # the tension solve consult exactly one instance, so duplicates
+        # would silently split the physics between code paths.
+        from .physics.terms import Bending, Tension
+        for singleton in (Bending, Tension):
+            n_dup = sum(isinstance(t, singleton) for t in self.forces)
+            if n_dup > 1:
+                errors.append(f"at most one {singleton.__name__} term is "
+                              f"allowed, got {n_dup}")
+        if self.collision_points_per_patch_edge < 2:
+            errors.append("collision_points_per_patch_edge must be >= 2")
+        n = self.numerics
+        if not isinstance(n, NumericsOptions):
+            errors.append(f"numerics must be NumericsOptions, got {n!r}")
+        else:
+            if n.sph_order < 2:
+                errors.append(f"sph_order must be >= 2, got {n.sph_order}")
+            if n.patch_quad < 3:
+                errors.append(f"patch_quad must be >= 3, got {n.patch_quad}")
+            if n.check_order < 2:
+                errors.append(f"check_order must be >= 2, got {n.check_order}")
+            if not n.check_r_factor > 0:
+                errors.append("check_r_factor must be positive")
+            if n.upsample_eta < 0:
+                errors.append("upsample_eta must be >= 0")
+            if n.gmres_max_iter < 1:
+                errors.append("gmres_max_iter must be >= 1")
+            if not n.gmres_tol > 0:
+                errors.append("gmres_tol must be positive")
+            if n.ncp_max_lcp < 1:
+                errors.append("ncp_max_lcp must be >= 1")
+        if errors:
+            raise ValueError("invalid ReproConfig: " + "; ".join(errors))
+
+    # -- convenience --------------------------------------------------------
+    @property
+    def bending_modulus(self) -> float:
+        """Modulus of the first bending term (0.0 when bending is absent).
+
+        A property so legacy ``sim.config.bending_modulus`` attribute
+        reads keep returning a float after the shim conversion.
+        """
+        from .physics.terms import Bending
+        for t in self.forces:
+            if isinstance(t, Bending):
+                return t.modulus
+        return 0.0
+
+    def with_force(self, term) -> "ReproConfig":
+        """A copy of this config with ``term`` appended to ``forces``."""
+        return dataclasses.replace(self, forces=[*self.forces, term])
+
+    # -- serialization ------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "dt": self.dt,
+            "viscosity": self.viscosity,
+            "forces": [t.to_dict() for t in self.forces],
+            "backend": self.backend,
+            "backend_options": dict(self.backend_options),
+            "with_collisions": self.with_collisions,
+            "collision_points_per_patch_edge":
+                self.collision_points_per_patch_edge,
+            "numerics": dataclasses.asdict(self.numerics),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ReproConfig":
+        from .physics.terms import force_term_from_dict
+        d = dict(d)
+        # Absent keys fall through to the constructor defaults, so a
+        # partial dict behaves like the equivalent ReproConfig(...) call.
+        if "forces" in d:
+            d["forces"] = [force_term_from_dict(t) for t in d["forces"]]
+        if "numerics" in d:
+            d["numerics"] = NumericsOptions(**d["numerics"])
+        return cls(**d)
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ReproConfig":
+        return cls.from_dict(json.loads(text))
+
+    # -- migration ----------------------------------------------------------
+    @classmethod
+    def from_legacy(cls, legacy) -> "ReproConfig":
+        """Convert a deprecated ``SimulationConfig`` to a ``ReproConfig``."""
+        from .physics.terms import (BackgroundFlow, Bending, Gravity,
+                                    Tension)
+        forces: list = [Bending(legacy.bending_modulus)]
+        if legacy.with_tension:
+            forces.append(Tension())
+        if legacy.gravity is not None:
+            drho, gvec = legacy.gravity
+            forces.append(Gravity(drho, tuple(gvec)))
+        if legacy.background_flow is not None:
+            forces.append(BackgroundFlow(legacy.background_flow))
+        return cls(dt=legacy.dt, viscosity=legacy.viscosity, forces=forces,
+                   with_collisions=legacy.with_collisions,
+                   collision_points_per_patch_edge=(
+                       legacy.collision_points_per_patch_edge),
+                   numerics=legacy.numerics)

@@ -1,16 +1,20 @@
 """The simulation platform (paper Sec. 2.2, "Algorithm summary").
 
-:class:`Simulation` couples all subsystems: spectral RBCs with bending /
-tension forces, the boundary solver for the vessel, the explicit
-inter-cell interaction pipeline (steps 1a-1e), the locally-implicit
-per-cell update (step 2), and the contact projection (NCP). Component
-wall-times are accumulated in the same categories the paper reports
-(COL, BIE-solve, BIE-FMM, Other-FMM, Other) so the scaling harness can
-regenerate Figs. 4-6.
+:class:`Simulation` couples all subsystems: spectral RBCs with composable
+:class:`~repro.physics.terms.ForceTerm` physics, the boundary solver for
+the vessel, the pluggable cell-cell interaction backend (steps 1a-1e),
+the locally-implicit per-cell update (step 2), and the contact
+projection (NCP). :class:`Scenario` / :class:`ScenarioBuilder` are the
+fluent front door. Component wall-times are accumulated in the same
+categories the paper reports (COL, BIE-solve, BIE-FMM, Other-FMM,
+Other) so the scaling harness can regenerate Figs. 4-6.
 """
 from .timers import ComponentTimers
+from .interactions import (BACKENDS, DirectBackend, InteractionBackend,
+                           TreecodeBackend, make_backend, register_backend)
 from .stepper import TimeStepper, StepReport
 from .simulation import Simulation, SimulationConfig
+from .scenario import Scenario, ScenarioBuilder
 
 __all__ = [
     "ComponentTimers",
@@ -18,4 +22,12 @@ __all__ = [
     "StepReport",
     "Simulation",
     "SimulationConfig",
+    "Scenario",
+    "ScenarioBuilder",
+    "InteractionBackend",
+    "DirectBackend",
+    "TreecodeBackend",
+    "BACKENDS",
+    "make_backend",
+    "register_backend",
 ]

@@ -2,23 +2,32 @@
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Optional, Sequence
+import warnings
+from typing import Callable, Optional, Sequence, Union
 
 import numpy as np
 
 from ..bie import BoundarySolver
 from ..collision import NCPSolver, patch_collision_mesh
-from ..config import NumericsOptions
+from ..config import NumericsOptions, ReproConfig
 from ..patches import PatchSurface
 from ..surfaces import SpectralSurface
 from ..vessel.recycling import OutletRecycler
+from .interactions import BACKENDS, InteractionBackend, make_backend
 from .stepper import StepReport, TimeStepper
 from .timers import ComponentTimers
 
 
 @dataclasses.dataclass
 class SimulationConfig:
-    """User-facing configuration of a blood-flow simulation."""
+    """Deprecated flag-style configuration of a blood-flow simulation.
+
+    Superseded by :class:`repro.config.ReproConfig`, whose ``forces``
+    list replaces the ``with_tension`` / ``gravity`` /
+    ``background_flow`` flags. Passing a ``SimulationConfig`` to
+    :class:`Simulation` still works (it is converted via
+    :meth:`ReproConfig.from_legacy`) but emits a ``DeprecationWarning``.
+    """
 
     dt: float = 0.05
     bending_modulus: float = 0.01
@@ -44,22 +53,44 @@ class Simulation:
         Dirichlet data at the vessel's coarse nodes (see
         :mod:`repro.vessel.boundary_conditions`); zero means no-slip
         everywhere.
+    config:
+        A :class:`repro.config.ReproConfig` (preferred; see
+        :mod:`repro.presets` for paper scenarios) or a deprecated
+        :class:`SimulationConfig`.
     recycler:
         Optional inlet/outlet cell recycler.
+    backend:
+        Optional pre-built :class:`InteractionBackend` instance
+        overriding ``config.backend``.
     """
 
     def __init__(self, cells: Sequence[SpectralSurface],
                  vessel: Optional[PatchSurface] = None,
                  boundary_bc: Optional[np.ndarray] = None,
-                 config: Optional[SimulationConfig] = None,
-                 recycler: Optional[OutletRecycler] = None):
-        self.config = config or SimulationConfig()
+                 config: Optional[Union[ReproConfig, SimulationConfig]] = None,
+                 recycler: Optional[OutletRecycler] = None,
+                 backend: Optional[InteractionBackend] = None):
+        if isinstance(config, SimulationConfig):
+            warnings.warn(
+                "SimulationConfig is deprecated; build a ReproConfig with "
+                "composable force terms instead (see repro.presets)",
+                DeprecationWarning, stacklevel=2)
+            config = ReproConfig.from_legacy(config)
+        self.config = config or ReproConfig()
+        if backend is not None and backend.name in BACKENDS:
+            # Keep the archived config faithful to the run when a
+            # pre-built backend instance overrides config.backend.
+            self.config = dataclasses.replace(
+                self.config, backend=backend.name,
+                backend_options=backend.options())
         self.cells = list(cells)
         self.vessel = vessel
         self.recycler = recycler
         self.timers = ComponentTimers()
-        opts = self.config.numerics
-        opts.viscosity = self.config.viscosity
+        # Numerics are shared policy; copy before stamping the fluid
+        # viscosity so a caller-supplied bundle is never mutated.
+        opts = dataclasses.replace(self.config.numerics,
+                                   viscosity=self.config.viscosity)
 
         solver = None
         if vessel is not None:
@@ -77,18 +108,14 @@ class Simulation:
                         patch_collision_mesh(patch, object_id=k, m=m))
             ncp = NCPSolver(boundary_meshes=boundary_meshes, options=opts)
 
-        gravity = None
-        if self.config.gravity is not None:
-            drho, gvec = self.config.gravity
-            gravity = (drho, np.asarray(gvec, float))
+        if backend is None:
+            backend = make_backend(self.config.backend,
+                                   **self.config.backend_options)
 
         self.stepper = TimeStepper(
             self.cells, options=opts, boundary_solver=solver,
-            boundary_bc=boundary_bc,
-            background_flow=self.config.background_flow,
-            bending_modulus=self.config.bending_modulus,
-            gravity=gravity, with_tension=self.config.with_tension,
-            ncp_solver=ncp, timers=self.timers)
+            boundary_bc=boundary_bc, forces=self.config.forces,
+            backend=backend, ncp_solver=ncp, timers=self.timers)
 
         self.t = 0.0
         self.history: list[StepReport] = []
@@ -97,6 +124,10 @@ class Simulation:
     def boundary_solver(self) -> Optional[BoundarySolver]:
         return self.stepper.boundary_solver
 
+    @property
+    def backend(self) -> InteractionBackend:
+        return self.stepper.backend
+
     # -- driving ------------------------------------------------------------
     def step(self) -> StepReport:
         """Advance one time step (and recycle outlet cells if configured)."""
@@ -104,9 +135,8 @@ class Simulation:
         self.t += self.config.dt
         if self.recycler is not None:
             report.recycled = self.recycler.recycle(self.cells)
-            if report.recycled:
-                for i in report.recycled:
-                    self.stepper._self_ops[i].refresh()
+            for i in report.recycled:
+                self.stepper.refresh_cell(i)
         self.history.append(report)
         return report
 
@@ -141,7 +171,7 @@ class Simulation:
     def n_dof(self) -> int:
         """Unknowns per time step: cell positions (+ tension) + boundary
         density, the count reported in the paper's scaling tables."""
-        per_cell = 3 + (1 if self.config.with_tension else 0)
+        per_cell = 3 + (1 if self.stepper.with_tension else 0)
         n = sum(per_cell * c.n_points for c in self.cells)
         if self.vessel is not None:
             n += 3 * self.vessel.coarse().points.shape[0]

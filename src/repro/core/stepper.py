@@ -7,28 +7,34 @@ Per step, from state (X, sigma, lambda):
    (b) GMRES solve of the boundary equation for phi,
    (c) u_Gamma_i = D phi at the cell points,
    (d) contributions of the *other* cells b_c_i = sum_{j != i} S_j f_j,
-   (e) b_i = u_Gamma_i + b_c_i (+ any background flow / gravity drive);
+   (e) b_i = u_Gamma_i + b_c_i (+ any imposed-velocity force terms);
 2. implicit part: solve X+ = X + dt (b + S_i f_i(X+)) per cell with the
    frozen-geometry linearized bending operator, via GMRES;
 3. contact projection: the NCP loop renders (X+, lambda+) contact-free.
 
 Interactions with the vessel and between cells are explicit; the cell's
-self-interaction is implicit — exactly the paper's splitting.
+self-interaction is implicit — exactly the paper's splitting. The
+physics of step 1 is an open list of :class:`~repro.physics.terms.ForceTerm`
+objects, and the cell-cell summation of (d) is delegated to an
+:class:`~repro.core.interactions.InteractionBackend`.
 """
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
 from ..config import NumericsOptions
 from ..linalg import gmres
-from ..physics import bending_force, linearized_bending_apply, gravity_force
-from ..physics.tension import TensionSolver, tension_force
+from ..physics import linearized_bending_apply
+from ..physics.tension import TensionSolver
+from ..physics.terms import (BackgroundFlow, Bending, CellState, ForceTerm,
+                             Gravity, Tension)
 from ..surfaces import SpectralSurface
-from ..vesicle import CellNearEvaluator, SingularSelfInteraction
+from ..vesicle import SingularSelfInteraction
 from ..collision import NCPSolver, NCPReport
+from .interactions import DirectBackend, InteractionBackend
 from .timers import ComponentTimers
 
 
@@ -45,7 +51,15 @@ class StepReport:
 
 
 class TimeStepper:
-    """Advances a list of cells through one locally-implicit step."""
+    """Advances a list of cells through one locally-implicit step.
+
+    The preferred construction passes ``forces`` (a list of
+    :class:`ForceTerm`) and ``backend`` (an
+    :class:`InteractionBackend`); the legacy keyword arguments
+    ``bending_modulus`` / ``gravity`` / ``with_tension`` /
+    ``background_flow`` are still accepted and converted to the
+    equivalent terms when ``forces`` is omitted.
+    """
 
     def __init__(self, cells: Sequence[SpectralSurface],
                  options: Optional[NumericsOptions] = None,
@@ -58,66 +72,117 @@ class TimeStepper:
                  ncp_solver: Optional[NCPSolver] = None,
                  timers: Optional[ComponentTimers] = None,
                  implicit_tol: float = 1e-8,
-                 implicit_max_iter: int = 60):
+                 implicit_max_iter: int = 60,
+                 forces: Optional[Sequence[ForceTerm]] = None,
+                 backend: Optional[InteractionBackend] = None):
         self.cells = list(cells)
         self.options = options or NumericsOptions()
         self.boundary_solver = boundary_solver
         self.boundary_bc = boundary_bc
-        self.background_flow = background_flow
-        self.kappa = bending_modulus
-        self.gravity = gravity
-        self.with_tension = with_tension
         self.ncp = ncp_solver
         self.timers = timers or ComponentTimers()
         self.implicit_tol = implicit_tol
         self.implicit_max_iter = implicit_max_iter
         self.viscosity = self.options.viscosity
+
+        if forces is None:
+            forces = [Bending(bending_modulus)]
+            if with_tension:
+                forces.append(Tension())
+            if gravity is not None:
+                drho, gvec = gravity
+                forces.append(Gravity(drho, tuple(np.asarray(gvec, float))))
+            if background_flow is not None:
+                forces.append(BackgroundFlow(background_flow))
+        self.forces: List[ForceTerm] = list(forces)
+        #: modulus of the linearized implicit bending operator.
+        self.kappa = next((t.modulus for t in self.forces
+                           if isinstance(t, Bending)), 0.0)
+        self.with_tension = any(isinstance(t, Tension) for t in self.forces)
+
+        self.backend: InteractionBackend = backend or DirectBackend()
+        # A backend instance is per-simulation state: rebinding one that
+        # another simulation still holds would corrupt that simulation,
+        # so a mismatched pre-bound backend is an error, not a rebind.
+        if not self.backend.bound:
+            self.backend.bind(self.cells, self.viscosity)
+        elif (self.backend.viscosity != self.viscosity
+              or len(self.backend.cells) != len(self.cells)
+              or any(a is not b for a, b in zip(self.backend.cells,
+                                                self.cells))):
+            raise ValueError(
+                "interaction backend is already bound to a different "
+                "simulation's cells; create a fresh backend instance per "
+                "simulation")
+
         self._self_ops: list[SingularSelfInteraction] = [
             SingularSelfInteraction(c, viscosity=self.viscosity)
             for c in self.cells]
         self.sigmas: list[np.ndarray] = [
             np.zeros((c.grid.nlat, c.grid.nphi)) for c in self.cells]
 
+    # -- cached-state maintenance -----------------------------------------
+    def refresh_cell(self, i: int) -> None:
+        """Rebuild the cached operators of cell ``i`` after it moved.
+
+        Covers the singular self-interaction tables and the interaction
+        backend's near evaluator; call after any out-of-band position
+        change (the recycler, external steering, ...).
+        """
+        self._self_ops[i].refresh()
+        self.backend.refresh(i)
+
     # -- forces -----------------------------------------------------------
-    def interfacial_force(self, i: int) -> np.ndarray:
-        """f = f_b (+ f_sigma) (+ gravity) for cell i at current state."""
+    def _cell_state(self, i: int) -> CellState:
+        return CellState(index=i,
+                         sigma=self.sigmas[i] if self.with_tension else None)
+
+    def interfacial_force(self, i: int,
+                          include_tension: bool = True) -> np.ndarray:
+        """Summed traction of the force terms for cell i at current state.
+
+        ``include_tension=False`` gives the external forcing the tension
+        solve balances against (everything but the tension itself).
+        """
         cell = self.cells[i]
-        f = bending_force(cell, self.kappa)
-        if self.with_tension:
-            f = f + tension_force(cell, self.sigmas[i])
-        if self.gravity is not None:
-            drho, gvec = self.gravity
-            f = f + gravity_force(cell, drho, gvec)
+        state = self._cell_state(i)
+        f = np.zeros_like(cell.X)
+        for term in self.forces:
+            if not include_tension and isinstance(term, Tension):
+                continue
+            tr = term.traction(cell, state)
+            if tr is not None:
+                f = f + tr
         return f
+
+    def _imposed_velocity(self, points: np.ndarray) -> Optional[np.ndarray]:
+        """Summed imposed velocity of all force terms (None when absent)."""
+        u = None
+        for term in self.forces:
+            v = term.velocity(points)
+            if v is not None:
+                u = v if u is None else u + v
+        return u
 
     # -- the explicit pipeline ------------------------------------------------
     def _explicit_velocities(self) -> tuple[list[np.ndarray], int]:
         cells = self.cells
         ncell = len(cells)
         forces = [self.interfacial_force(i) for i in range(ncell)]
-        evaluators = [CellNearEvaluator(c, viscosity=self.viscosity)
-                      for c in cells]
-        b = [np.zeros_like(c.X) for c in cells]
         bie_iters = 0
 
-        # (d) cell-cell contributions (near-singular-aware).
+        # (d) cell-cell contributions (near-singular-aware), via the
+        # pluggable backend; evaluators are cached across steps.
         with self.timers.scope("Other-FMM"):
-            for j in range(ncell):
-                for i in range(ncell):
-                    if i == j:
-                        continue
-                    vals = evaluators[j].evaluate(forces[j],
-                                                  cells[i].points)
-                    b[i] += vals.reshape(cells[i].X.shape)
+            self.backend.prepare(forces)
+            contrib = self.backend.cell_cell()
+        b = [contrib[i].reshape(cells[i].X.shape) for i in range(ncell)]
 
         if self.boundary_solver is not None:
             solver = self.boundary_solver
             # (a) u_fr on Gamma.
             with self.timers.scope("Other-FMM"):
-                ufr = np.zeros((solver.N, 3))
-                for j in range(ncell):
-                    ufr += evaluators[j].evaluate(forces[j],
-                                                  solver.coarse.points)
+                ufr = self.backend.evaluate_at(solver.coarse.points)
             # (b) solve for phi.
             g = (self.boundary_bc if self.boundary_bc is not None
                  else np.zeros((solver.N, 3))) - ufr
@@ -130,19 +195,26 @@ class TimeStepper:
                     vals = solver.evaluate(phi, cells[i].points)
                     b[i] += np.asarray(vals).reshape(cells[i].X.shape)
 
-        if self.background_flow is not None:
-            for i in range(ncell):
-                b[i] += self.background_flow(cells[i].points).reshape(
-                    cells[i].X.shape)
+        for i in range(ncell):
+            u = self._imposed_velocity(cells[i].points)
+            if u is not None:
+                b[i] += u.reshape(cells[i].X.shape)
         return b, bie_iters
 
     # -- tension update ---------------------------------------------------------
     def _update_tensions(self, b: list[np.ndarray]) -> None:
         """Solve the inextensibility constraint cell by cell (explicit in
-        the inter-cell coupling, as the paper's splitting)."""
+        the inter-cell coupling, as the paper's splitting).
+
+        The background velocity includes every non-tension traction
+        (bending, gravity, user terms) through the self-interaction, so
+        the computed tension is consistent with the forcing actually
+        applied.
+        """
         for i, cell in enumerate(self.cells):
             op = self._self_ops[i]
-            u_bg = b[i] + op.apply(bending_force(cell, self.kappa))
+            u_bg = b[i] + op.apply(
+                self.interfacial_force(i, include_tension=False))
             solver = TensionSolver(cell, op.apply)
             sigma, _ = solver.solve(u_bg)
             self.sigmas[i] = sigma
@@ -174,8 +246,7 @@ class TimeStepper:
         with self.timers.scope("Other"):
             b, bie_iters = self._explicit_velocities()
             if self.with_tension:
-                self._update_tensions(b)
-                b, bie_iters2 = b, bie_iters  # tensions folded via forces
+                self._update_tensions(b)  # tensions folded via forces
 
             candidates = []
             impl_iters = []
@@ -196,7 +267,7 @@ class TimeStepper:
         with self.timers.scope("Other"):
             for i, cell in enumerate(self.cells):
                 cell.set_positions(newpos[i])
-                self._self_ops[i].refresh()
+                self.refresh_cell(i)
         return StepReport(t=t, dt=dt, bie_iterations=bie_iters,
                           implicit_iterations=impl_iters, ncp=ncp_report,
                           recycled=[])

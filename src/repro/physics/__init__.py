@@ -9,6 +9,9 @@ experiment of Fig. 7, a gravitational traction jump).
 from .bending import bending_force, bending_energy, linearized_bending_apply
 from .tension import tension_force, TensionSolver
 from .gravity import gravity_force
+from .terms import (FORCE_TERMS, BackgroundFlow, Bending, CellState,
+                    ForceTerm, Gravity, ShearFlow, Tension,
+                    force_term_from_dict, register_force_term)
 
 __all__ = [
     "bending_force",
@@ -17,4 +20,14 @@ __all__ = [
     "tension_force",
     "TensionSolver",
     "gravity_force",
+    "ForceTerm",
+    "CellState",
+    "Bending",
+    "Tension",
+    "Gravity",
+    "ShearFlow",
+    "BackgroundFlow",
+    "FORCE_TERMS",
+    "register_force_term",
+    "force_term_from_dict",
 ]

@@ -1,0 +1,199 @@
+"""Composable force terms: the open-ended half of the physics model.
+
+The paper runs a *family* of scenarios — sedimentation (gravity), shear
+(background flow), vessel filling (wall-driven flow) — that differ only
+in which explicit contributions drive the cells. Instead of boolean
+constructor flags, each contribution is a :class:`ForceTerm`: an object
+that may add an interfacial *traction* (a force density on the membrane,
+entering through the single-layer potentials) and/or a direct *velocity*
+(an imposed background flow evaluated at cell points). Terms compose as
+a plain list on :class:`repro.config.ReproConfig`; user-defined terms
+subclass :class:`ForceTerm` and, if registered, serialize with the rest
+of the configuration.
+"""
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, ClassVar, Dict, Optional, Type
+
+import numpy as np
+
+from ..surfaces import SpectralSurface
+from .bending import bending_force
+from .gravity import gravity_force
+from .tension import tension_force
+
+
+@dataclasses.dataclass
+class CellState:
+    """Per-cell state a term may consult when computing its traction."""
+
+    index: int
+    sigma: Optional[np.ndarray] = None  #: current tension field (or None)
+
+
+class ForceTerm:
+    """One composable contribution to the explicit right-hand side.
+
+    Subclasses override :meth:`traction` (force density on the membrane,
+    shape ``(nlat, nphi, 3)``) and/or :meth:`velocity` (imposed velocity
+    at arbitrary points, shape ``(n, 3)``); either may return ``None``
+    when the term does not contribute that piece.
+    """
+
+    #: Registry key; subclasses registered via :func:`register_force_term`.
+    name: ClassVar[str] = ""
+    #: Whether :meth:`to_dict` produces a faithful description.
+    serializable: ClassVar[bool] = True
+
+    def traction(self, cell: SpectralSurface,
+                 state: CellState) -> Optional[np.ndarray]:
+        return None
+
+    def velocity(self, points: np.ndarray) -> Optional[np.ndarray]:
+        return None
+
+    # -- serialization ------------------------------------------------------
+    def params(self) -> dict:
+        """JSON-safe constructor arguments; the serialization payload."""
+        return {}
+
+    def to_dict(self) -> dict:
+        if not self.serializable:
+            raise ValueError(
+                f"force term {type(self).__name__!r} holds a raw callable "
+                "and cannot be serialized; use a registered named term")
+        return {"term": self.name, **self.params()}
+
+    def __eq__(self, other) -> bool:
+        return type(other) is type(self) and other.params() == self.params()
+
+    def __repr__(self) -> str:
+        args = ", ".join(f"{k}={v!r}" for k, v in self.params().items())
+        return f"{type(self).__name__}({args})"
+
+
+#: Registry of named, serializable force terms.
+FORCE_TERMS: Dict[str, Type[ForceTerm]] = {}
+
+
+def register_force_term(cls: Type[ForceTerm]) -> Type[ForceTerm]:
+    """Class decorator adding a term to the :data:`FORCE_TERMS` registry."""
+    if not cls.name:
+        raise ValueError(f"{cls.__name__} must define a non-empty name")
+    FORCE_TERMS[cls.name] = cls
+    return cls
+
+
+def force_term_from_dict(d: dict) -> ForceTerm:
+    """Inverse of :meth:`ForceTerm.to_dict`."""
+    d = dict(d)
+    name = d.pop("term")
+    try:
+        cls = FORCE_TERMS[name]
+    except KeyError:
+        raise ValueError(f"unknown force term {name!r}; registered terms: "
+                         f"{sorted(FORCE_TERMS)}") from None
+    return cls(**d)
+
+
+# -- built-in terms ---------------------------------------------------------
+@register_force_term
+class Bending(ForceTerm):
+    """Canham-Helfrich bending traction (paper Sec. 2.1).
+
+    The time stepper also uses this term's modulus for the linearized
+    implicit self-interaction operator.
+    """
+
+    name = "bending"
+
+    def __init__(self, modulus: float = 0.01):
+        self.modulus = float(modulus)
+
+    def traction(self, cell, state):
+        return bending_force(cell, self.modulus)
+
+    def params(self):
+        return {"modulus": self.modulus}
+
+
+@register_force_term
+class Tension(ForceTerm):
+    """Membrane tension enforcing inextensibility (paper Eq. 2.9).
+
+    Presence of this term switches the stepper's per-cell tension solve
+    on; the traction uses the most recent tension field.
+    """
+
+    name = "tension"
+
+    def traction(self, cell, state):
+        if state.sigma is None:
+            return None
+        return tension_force(cell, state.sigma)
+
+
+@register_force_term
+class Gravity(ForceTerm):
+    """Gravitational traction jump for sedimentation (paper Fig. 7)."""
+
+    name = "gravity"
+
+    def __init__(self, delta_rho: float = 1.0,
+                 direction=(0.0, 0.0, -1.0)):
+        self.delta_rho = float(delta_rho)
+        self.direction = tuple(float(v) for v in direction)
+
+    def traction(self, cell, state):
+        return gravity_force(cell, self.delta_rho, self.direction)
+
+    def params(self):
+        return {"delta_rho": self.delta_rho, "direction": list(self.direction)}
+
+
+@register_force_term
+class ShearFlow(ForceTerm):
+    """Linear shear background flow ``u[flow_axis] = rate * x[gradient_axis]``
+    (paper Figs. 10/11 scenario)."""
+
+    name = "shear_flow"
+
+    def __init__(self, rate: float = 1.0, flow_axis: int = 0,
+                 gradient_axis: int = 2):
+        self.rate = float(rate)
+        self.flow_axis = int(flow_axis)
+        self.gradient_axis = int(gradient_axis)
+
+    def velocity(self, points):
+        points = np.atleast_2d(np.asarray(points, float))
+        u = np.zeros_like(points)
+        u[:, self.flow_axis] = self.rate * points[:, self.gradient_axis]
+        return u
+
+    def params(self):
+        return {"rate": self.rate, "flow_axis": self.flow_axis,
+                "gradient_axis": self.gradient_axis}
+
+
+class BackgroundFlow(ForceTerm):
+    """Arbitrary imposed background velocity from a raw callable.
+
+    Not serializable — use a named term (e.g. :class:`ShearFlow`) when the
+    configuration must round-trip through JSON.
+    """
+
+    name = "background_flow"
+    serializable = False
+
+    def __init__(self, fn: Callable[[np.ndarray], np.ndarray]):
+        self.fn = fn
+
+    def velocity(self, points):
+        return np.asarray(self.fn(points), float)
+
+    def __eq__(self, other):
+        return type(other) is type(self) and other.fn is self.fn
+
+    def __repr__(self):
+        return f"BackgroundFlow({self.fn!r})"

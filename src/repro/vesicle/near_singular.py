@@ -79,6 +79,11 @@ class CellNearEvaluator:
         p = surface.order
         self.up_order = upsample_order or 2 * p
         self.check_order = check_order
+        self.refresh()
+
+    def refresh(self) -> None:
+        """Re-evaluate position-dependent caches after the surface moved."""
+        surface = self.surface
         self._fine = surface.upsampled(self.up_order)
         self._fine_w = self._fine.quadrature_weights()
         # Characteristic resolution of the *fine* grid: the smooth
@@ -178,17 +183,29 @@ class CellNearEvaluator:
                         + (rf * inv_r ** 3)[:, None].T @ r).ravel()
 
     # -- public evaluation ----------------------------------------------------
-    def evaluate(self, density: np.ndarray, targets: np.ndarray) -> np.ndarray:
-        """Velocity at arbitrary targets due to this cell's single layer."""
-        targets = np.atleast_2d(np.asarray(targets, float))
+    def weighted_fine_density(self, density: np.ndarray) -> np.ndarray:
+        """Quadrature-weighted density on the fine grid: the source strengths
+        of the smooth far quadrature. Shape ``(fine_nlat, fine_nphi, 3)``.
+
+        Computing this once per step and passing it to :meth:`evaluate` for
+        every target batch avoids re-upsampling the same density per batch.
+        """
         density = np.asarray(density, float).reshape(self.surface.grid.nlat,
                                                      self.surface.grid.nphi, 3)
-        # Upsample density to the fine grid for the smooth far quadrature.
         T = self.surface.transform
         dens_fine = np.stack([
             T.resample(T.forward(density[:, :, k]), self.up_order)
             for k in range(3)], axis=-1)
-        fw = dens_fine * self._fine_w[..., None]
+        return dens_fine * self._fine_w[..., None]
+
+    def evaluate(self, density: np.ndarray, targets: np.ndarray,
+                 fine_weighted: Optional[np.ndarray] = None) -> np.ndarray:
+        """Velocity at arbitrary targets due to this cell's single layer."""
+        targets = np.atleast_2d(np.asarray(targets, float))
+        density = np.asarray(density, float).reshape(self.surface.grid.nlat,
+                                                     self.surface.grid.nphi, 3)
+        fw = (fine_weighted if fine_weighted is not None
+              else self.weighted_fine_density(density))
         out = stokes_slp_apply(self._fine.points, fw.reshape(-1, 3), targets,
                                self.viscosity)
         # Identify near targets by distance to the fine point cloud.
