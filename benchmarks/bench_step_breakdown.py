@@ -1,0 +1,100 @@
+"""Per-component time breakdown of the reference 6-cell order-8 scene.
+
+This is the perf-trajectory benchmark: it times full `Simulation.step`
+calls on the standard 6-cell order-8 free-space `DirectBackend` scene
+(bending + tension + gravity, collisions on) and writes ``BENCH_step.json``
+with the measured ms/step, the :class:`ComponentTimers` per-category
+breakdown, and the recorded baseline from the previous PR so speedups are
+visible across the repo history.
+
+Run:  PYTHONPATH=src python benchmarks/bench_step_breakdown.py
+      [--steps N] [--reduced] [--out PATH]
+
+``--reduced`` runs a 2-cell order-6 variant for CI smoke runs.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+import numpy as np
+
+from repro.config import ReproConfig
+from repro.core.simulation import Simulation
+from repro.physics.terms import Bending, Gravity, Tension
+from repro.surfaces import biconcave_rbc
+
+#: ms/step measured for this scene at the end of PR 1 (DirectBackend,
+#: evaluator caching in place but the per-call synthesis hot loops
+#: intact) on PR 1's benchmark host.
+PR1_BASELINE_MS = 406.0
+
+#: The same PR 1 code measured on the PR 2 container (5 steps) — the
+#: like-for-like "before" of the PR 2 operator-precomputation work, with
+#: its per-component breakdown.
+BEFORE = {
+    "ms_per_step": 2384.7,
+    "breakdown_ms_per_step": {"COL": 83.0, "BIE-solve": 0.0, "BIE-FMM": 0.0,
+                              "Other-FMM": 300.9, "Other": 2000.5},
+}
+
+
+def build_scene(order: int = 8, ncells: int = 6) -> Simulation:
+    """The reference scene: ``ncells`` RBCs on a close-packed lattice."""
+    spacing = 2.4  # equatorial radius 1.0 -> neighbours inside the near zone
+    cells = []
+    for k in range(ncells):
+        i, j = divmod(k, 2)
+        center = (spacing * i, spacing * j, 0.15 * (-1.0) ** k)
+        cells.append(biconcave_rbc(1.0, center=center, order=order))
+    cfg = ReproConfig(dt=0.05, viscosity=1.0,
+                      forces=[Bending(0.01), Tension(),
+                              Gravity(0.5, (0.0, 0.0, -1.0))],
+                      backend="direct", with_collisions=True)
+    return Simulation(cells, config=cfg)
+
+
+def run(steps: int, reduced: bool, out_path: str) -> dict:
+    order, ncells = (6, 2) if reduced else (8, 6)
+    sim = build_scene(order=order, ncells=ncells)
+    t0 = time.perf_counter()
+    sim.run(steps)
+    elapsed = time.perf_counter() - t0
+    ms_per_step = 1e3 * elapsed / steps
+    breakdown = {k: 1e3 * v / steps
+                 for k, v in sim.timers.breakdown().items()}
+    result = {
+        "scene": {"order": order, "ncells": ncells, "backend": "direct",
+                  "steps": steps, "reduced": reduced},
+        "pr1_baseline_ms_per_step": PR1_BASELINE_MS,
+        "before": None if reduced else BEFORE,
+        "ms_per_step": round(ms_per_step, 2),
+        "speedup_vs_before": (round(BEFORE["ms_per_step"] / ms_per_step, 2)
+                              if not reduced else None),
+        "breakdown_ms_per_step": {k: round(v, 2)
+                                  for k, v in breakdown.items()},
+        "final_centroids": [c.centroid().tolist() for c in sim.cells],
+    }
+    with open(out_path, "w") as fh:
+        json.dump(result, fh, indent=2)
+    return result
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--steps", type=int, default=5)
+    ap.add_argument("--reduced", action="store_true",
+                    help="2-cell order-6 smoke variant (CI)")
+    ap.add_argument("--out", default="BENCH_step.json")
+    args = ap.parse_args()
+    result = run(args.steps, args.reduced, args.out)
+    print(json.dumps(result, indent=2))
+    if not args.reduced:
+        print(f"\n{result['ms_per_step']:.0f} ms/step "
+              f"(before: {BEFORE['ms_per_step']:.0f} ms/step on this host, "
+              f"{result['speedup_vs_before']:.1f}x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -22,7 +22,7 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 
 from ..config import NumericsOptions
-from ..sph import SHTransform
+from ..sph import get_transform
 from ..surfaces import SpectralSurface
 from ..vesicle import SingularSelfInteraction
 from .broadphase import candidate_object_pairs
@@ -63,22 +63,18 @@ class NCPSolver:
     def _restrict(cell: SpectralSurface, field_c: np.ndarray,
                   pc: int) -> np.ndarray:
         """Collision-grid vector field -> simulation grid (band-limit)."""
-        Tc = SHTransform(pc)
+        Tc = get_transform(pc)
         p = cell.order
-        out = np.empty((cell.grid.nlat, cell.grid.nphi, 3))
-        for k in range(3):
-            out[:, :, k] = Tc.resample(Tc.forward(field_c[:, :, k]), p)
-        return out
+        cf = Tc.forward(np.moveaxis(field_c, -1, 0))
+        return np.moveaxis(Tc.resample(cf, p), 0, -1)
 
     @staticmethod
     def _prolong(cell: SpectralSurface, field_p: np.ndarray,
                  pc: int) -> np.ndarray:
         """Simulation-grid vector field -> collision grid."""
         T = cell.transform
-        out = []
-        for k in range(3):
-            out.append(T.resample(T.forward(field_p[:, :, k]), pc))
-        return np.stack(out, axis=-1)
+        cf = T.forward(np.moveaxis(field_p, -1, 0))
+        return np.moveaxis(T.resample(cf, pc), 0, -1)
 
     # -- main entry -------------------------------------------------------------
     def project(self, cells: Sequence[SpectralSurface],
@@ -109,7 +105,7 @@ class NCPSolver:
                                  max_penetration_after=0.0,
                                  contact_active=False, lambdas=np.zeros(0))
         pc = self.collision_order or 2 * cells[0].order
-        Tc = SHTransform(pc)
+        Tc = get_transform(pc)
         nlat_c, nphi_c = Tc.grid.nlat, Tc.grid.nphi
 
         def build_meshes(positions):

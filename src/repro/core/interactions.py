@@ -108,13 +108,42 @@ class InteractionBackend:
                 self._forces[j])
         return self._fw[j]
 
-    def cell_cell(self) -> List[np.ndarray]:
-        """``b_i = sum_{j != i} S_j f_j`` at cell i's points, per cell."""
+    def _source_velocity(self, j: int, targets: np.ndarray) -> np.ndarray:
+        """Cell j's single-layer velocity at arbitrary targets."""
         raise NotImplementedError
+
+    def cell_cell(self) -> List[np.ndarray]:
+        """``b_i = sum_{j != i} S_j f_j`` at cell i's points, per cell.
+
+        All other cells' points are stacked into one target batch per
+        source cell, so the near-singular pipeline and the far kernel run
+        once per source instead of once per (source, target-cell) pair.
+        """
+        self._require_prepared()
+        cells = self.cells
+        ncell = len(cells)
+        b = [np.zeros((c.n_points, 3)) for c in cells]
+        for j in range(ncell):
+            others = [i for i in range(ncell) if i != j]
+            if not others:
+                continue
+            targets = np.concatenate([cells[i].points for i in others])
+            vals = self._source_velocity(j, targets)
+            at = 0
+            for i in others:
+                n = cells[i].n_points
+                b[i] += vals[at:at + n]
+                at += n
+        return b
 
     def evaluate_at(self, targets: np.ndarray) -> np.ndarray:
         """``sum_j S_j f_j`` at external targets (e.g. the vessel wall)."""
-        raise NotImplementedError
+        self._require_prepared()
+        targets = np.atleast_2d(np.asarray(targets, float))
+        out = np.zeros((targets.shape[0], 3))
+        for j in range(len(self.cells)):
+            out += self._source_velocity(j, targets)
+        return out
 
 
 BACKENDS: Dict[str, Type[InteractionBackend]] = {}
@@ -144,27 +173,9 @@ class DirectBackend(InteractionBackend):
 
     name = "direct"
 
-    def cell_cell(self) -> List[np.ndarray]:
-        self._require_prepared()
-        cells = self.cells
-        b = [np.zeros((c.n_points, 3)) for c in cells]
-        for j in range(len(cells)):
-            for i in range(len(cells)):
-                if i == j:
-                    continue
-                b[i] += self.evaluators[j].evaluate(
-                    self._forces[j], cells[i].points,
-                    fine_weighted=self._weighted(j))
-        return b
-
-    def evaluate_at(self, targets: np.ndarray) -> np.ndarray:
-        self._require_prepared()
-        targets = np.atleast_2d(np.asarray(targets, float))
-        out = np.zeros((targets.shape[0], 3))
-        for j in range(len(self.cells)):
-            out += self.evaluators[j].evaluate(self._forces[j], targets,
-                                               fine_weighted=self._weighted(j))
-        return out
+    def _source_velocity(self, j: int, targets: np.ndarray) -> np.ndarray:
+        return self.evaluators[j].evaluate(self._forces[j], targets,
+                                           fine_weighted=self._weighted(j))
 
 
 @register_backend
@@ -234,7 +245,7 @@ class TreecodeBackend(InteractionBackend):
                   + self.near_safety * self.evaluators[j].near_distance)
         return d < cutoff
 
-    def _source_sum(self, j: int, targets: np.ndarray) -> np.ndarray:
+    def _source_velocity(self, j: int, targets: np.ndarray) -> np.ndarray:
         """Cell j's single-layer velocity at targets: near-aware where
         needed, treecode elsewhere."""
         out = np.empty((targets.shape[0], 3))
@@ -245,22 +256,4 @@ class TreecodeBackend(InteractionBackend):
                 fine_weighted=self._weighted(j))
         if (~mask).any():
             out[~mask] = self._trees[j].evaluate(targets[~mask])
-        return out
-
-    def cell_cell(self) -> List[np.ndarray]:
-        self._require_prepared()
-        b = [np.zeros((c.n_points, 3)) for c in self.cells]
-        for j in range(len(self.cells)):
-            for i in range(len(self.cells)):
-                if i == j:
-                    continue
-                b[i] += self._source_sum(j, self.cells[i].points)
-        return b
-
-    def evaluate_at(self, targets: np.ndarray) -> np.ndarray:
-        self._require_prepared()
-        targets = np.atleast_2d(np.asarray(targets, float))
-        out = np.zeros((targets.shape[0], 3))
-        for j in range(len(self.cells)):
-            out += self._source_sum(j, targets)
         return out

@@ -98,7 +98,14 @@ class TimeStepper:
         #: modulus of the linearized implicit bending operator.
         self.kappa = next((t.modulus for t in self.forces
                            if isinstance(t, Bending)), 0.0)
-        self.with_tension = any(isinstance(t, Tension) for t in self.forces)
+        self._tension_term = next((t for t in self.forces
+                                   if isinstance(t, Tension)), None)
+        self.with_tension = self._tension_term is not None
+        # Per-cell cache of the summed non-tension traction: within a step
+        # only the tension field changes, so the expensive geometric terms
+        # (bending above all) are computed once per cell per step instead
+        # of once per consumer (explicit rhs, tension solve, implicit rhs).
+        self._f_ext: list[Optional[np.ndarray]] = [None] * len(self.cells)
 
         self.backend: InteractionBackend = backend or DirectBackend()
         # A backend instance is per-simulation state: rebinding one that
@@ -131,29 +138,57 @@ class TimeStepper:
         """
         self._self_ops[i].refresh()
         self.backend.refresh(i)
+        self._f_ext[i] = None
 
     # -- forces -----------------------------------------------------------
     def _cell_state(self, i: int) -> CellState:
         return CellState(index=i,
                          sigma=self.sigmas[i] if self.with_tension else None)
 
+    def _external_force(self, i: int) -> np.ndarray:
+        """Summed sigma-independent traction at the current geometry.
+
+        Cached until cell ``i`` moves (see :meth:`refresh_cell`): within a
+        step only the tension field changes, and terms declare via
+        :attr:`ForceTerm.sigma_dependent` whether they consult it. Internal
+        callers must not mutate the returned array.
+        """
+        if self._f_ext[i] is None:
+            cell = self.cells[i]
+            state = self._cell_state(i)
+            f = np.zeros_like(cell.X)
+            for term in self.forces:
+                if term.sigma_dependent:
+                    continue
+                tr = term.traction(cell, state)
+                if tr is not None:
+                    f = f + tr
+            self._f_ext[i] = f
+        return self._f_ext[i]
+
     def interfacial_force(self, i: int,
                           include_tension: bool = True) -> np.ndarray:
         """Summed traction of the force terms for cell i at current state.
 
         ``include_tension=False`` gives the external forcing the tension
-        solve balances against (everything but the tension itself).
+        solve balances against (everything but the tension itself). The
+        sigma-independent part is computed once per cell per step and
+        shared by the explicit pipeline, the tension solve, and the
+        implicit solve; sigma-dependent terms are evaluated fresh here.
+        Always returns a new array the caller may freely mutate.
         """
-        cell = self.cells[i]
-        state = self._cell_state(i)
-        f = np.zeros_like(cell.X)
+        f = self._external_force(i)
+        fresh = False
         for term in self.forces:
+            if not term.sigma_dependent:
+                continue
             if not include_tension and isinstance(term, Tension):
                 continue
-            tr = term.traction(cell, state)
+            tr = term.traction(self.cells[i], self._cell_state(i))
             if tr is not None:
                 f = f + tr
-        return f
+                fresh = True
+        return f if fresh else f.copy()
 
     def _imposed_velocity(self, points: np.ndarray) -> Optional[np.ndarray]:
         """Summed imposed velocity of all force terms (None when absent)."""

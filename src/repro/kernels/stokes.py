@@ -28,24 +28,59 @@ def stokes_slp_apply(src: np.ndarray, weighted_density: np.ndarray,
     ``weighted_density`` is (ns, 3) with quadrature weights folded in.
     Pairs at zero distance contribute nothing (used with ``exclude_self``
     semantics when sources and targets coincide).
+
+    The pairwise sums are factored into rank-3 GEMMs instead of
+    materializing the (nt, ns, 3) displacement tensor: with r = x - y,
+
+        sum_s r (r.f) / r^3 = x (c.1) - c @ Y,   c_ts = (r.f) / r^3,
+
+    so only (nt, ns) intermediates are formed. Coordinates are centered
+    on the source cloud first, which keeps the expansion of ``r^2 = |x|^2
+    + |y|^2 - 2 x.y`` well-conditioned at near-field distances; the rare
+    pairs below ~1e-4 relative separation — where the expansion does lose
+    accuracy — are re-evaluated with the exact difference formula, which
+    also restores the exact zero-distance exclusion.
     """
     src = np.asarray(src, float).reshape(-1, 3)
     trg = np.asarray(trg, float).reshape(-1, 3)
     f = np.asarray(weighted_density, float).reshape(-1, 3)
-    out = np.zeros((trg.shape[0], 3))
+    out = np.empty((trg.shape[0], 3))
     scale = 1.0 / (8.0 * np.pi * viscosity)
+    center = src.mean(axis=0) if src.size else np.zeros(3)
+    srcc = src - center
+    src2 = np.einsum("sk,sk->s", srcc, srcc)
+    sf = np.einsum("sk,sk->s", srcc, f)
     for a in range(0, trg.shape[0], _CHUNK):
-        t = trg[a:a + _CHUNK]
-        r, r2 = _pairwise_r(t, src)
-        with np.errstate(divide="ignore", invalid="ignore"):
-            inv_r = 1.0 / np.sqrt(r2)
-        inv_r[~np.isfinite(inv_r)] = 0.0
-        inv_r3 = inv_r ** 3
-        rf = np.einsum("tsk,sk->ts", r, f)
-        out[a:a + _CHUNK] = scale * (
-            np.einsum("ts,sk->tk", inv_r, f)
-            + np.einsum("ts,tsk->tk", rf * inv_r3, r)
+        t = trg[a:a + _CHUNK] - center
+        t2 = np.einsum("tk,tk->t", t, t)
+        scale2 = t2[:, None] + src2[None, :]
+        r2 = scale2 - 2.0 * (t @ srcc.T)
+        # Pairs this close lose accuracy to cancellation in the expanded
+        # r^2 (and coincident points no longer give an exact zero);
+        # clamp them for the bulk GEMMs and patch them exactly below.
+        # The absolute term keeps inv_r^3 finite even for a degenerate
+        # zero-scale cloud (single source at its own centroid).
+        floor = 1e-8 * scale2 + 1e-100
+        sus_t, sus_s = np.nonzero(r2 < floor)
+        inv_r = 1.0 / np.sqrt(np.maximum(r2, floor))
+        rf = (t @ f.T - sf[None, :]) * inv_r ** 3     # (r.f) / r^3
+        chunk = scale * (
+            inv_r @ f + t * rf.sum(axis=1)[:, None] - rf @ srcc
         )
+        if sus_t.size:
+            rv = t[sus_t] - srcc[sus_s]
+            fs = f[sus_s]
+            # what the bulk sums included for these pairs...
+            included = (inv_r[sus_t, sus_s, None] * fs
+                        + rf[sus_t, sus_s, None] * rv)
+            # ...versus the exact per-pair kernel (zero when coincident)
+            r2e = np.einsum("nk,nk->n", rv, rv)
+            with np.errstate(divide="ignore"):
+                inv_e = np.where(r2e > 0.0, 1.0 / np.sqrt(r2e), 0.0)
+            rfe = np.einsum("nk,nk->n", rv, fs) * inv_e ** 3
+            exact = inv_e[:, None] * fs + rfe[:, None] * rv
+            np.add.at(chunk, sus_t, scale * (exact - included))
+        out[a:a + _CHUNK] = chunk
     return out
 
 

@@ -45,6 +45,13 @@ class ForceTerm:
     name: ClassVar[str] = ""
     #: Whether :meth:`to_dict` produces a faithful description.
     serializable: ClassVar[bool] = True
+    #: Whether :meth:`traction` consults ``state.sigma``. Tractions of
+    #: sigma-independent terms depend on geometry alone, so the stepper
+    #: computes them once per cell per step; terms that declare
+    #: ``sigma_dependent = False`` opt into that caching. The default is
+    #: conservative (re-evaluate whenever the tension field changes) so
+    #: unknown subclasses stay correct.
+    sigma_dependent: ClassVar[bool] = True
 
     def traction(self, cell: SpectralSurface,
                  state: CellState) -> Optional[np.ndarray]:
@@ -107,6 +114,7 @@ class Bending(ForceTerm):
     """
 
     name = "bending"
+    sigma_dependent = False
 
     def __init__(self, modulus: float = 0.01):
         self.modulus = float(modulus)
@@ -139,6 +147,7 @@ class Gravity(ForceTerm):
     """Gravitational traction jump for sedimentation (paper Fig. 7)."""
 
     name = "gravity"
+    sigma_dependent = False
 
     def __init__(self, delta_rho: float = 1.0,
                  direction=(0.0, 0.0, -1.0)):
@@ -158,6 +167,7 @@ class ShearFlow(ForceTerm):
     (paper Figs. 10/11 scenario)."""
 
     name = "shear_flow"
+    sigma_dependent = False
 
     def __init__(self, rate: float = 1.0, flow_axis: int = 0,
                  gradient_axis: int = 2):
@@ -185,6 +195,7 @@ class BackgroundFlow(ForceTerm):
 
     name = "background_flow"
     serializable = False
+    sigma_dependent = False
 
     def __init__(self, fn: Callable[[np.ndarray], np.ndarray]):
         self.fn = fn

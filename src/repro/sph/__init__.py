@@ -15,12 +15,13 @@ longitudes). This subpackage provides
 """
 from .grid import SphGrid
 from .alp import normalized_alp, normalized_alp_theta_derivative
-from .transform import SHTransform, sht, isht
+from .transform import SHTransform, get_transform, sht, isht
 from .rotation import rotated_sphere_points, rotation_matrix_to_pole
 
 __all__ = [
     "SphGrid",
     "SHTransform",
+    "get_transform",
     "sht",
     "isht",
     "normalized_alp",

@@ -26,6 +26,52 @@ def rotation_matrix_to_pole(theta0: float, phi0: float) -> np.ndarray:
     return Rz @ Ry
 
 
+def rotation_matrices_to_poles(theta0: np.ndarray,
+                               phi0: np.ndarray) -> np.ndarray:
+    """Stacked rotations mapping the north pole to each ``(theta0, phi0)``.
+
+    Vectorized :func:`rotation_matrix_to_pole`; returns shape ``(n, 3, 3)``.
+    """
+    theta0 = np.asarray(theta0, float).ravel()
+    phi0 = np.asarray(phi0, float).ravel()
+    ct, st = np.cos(theta0), np.sin(theta0)
+    cp, sp = np.cos(phi0), np.sin(phi0)
+    R = np.empty((theta0.size, 3, 3))
+    R[:, 0, 0] = cp * ct
+    R[:, 0, 1] = -sp
+    R[:, 0, 2] = cp * st
+    R[:, 1, 0] = sp * ct
+    R[:, 1, 1] = cp
+    R[:, 1, 2] = sp * st
+    R[:, 2, 0] = -st
+    R[:, 2, 1] = 0.0
+    R[:, 2, 2] = ct
+    return R
+
+
+def rotated_sphere_points_batch(theta0: np.ndarray, phi0: np.ndarray,
+                                psi: np.ndarray, alpha: np.ndarray
+                                ) -> tuple[np.ndarray, np.ndarray]:
+    """Rotated grid coordinates for a *batch* of pole directions.
+
+    The same relative ``(psi, alpha)`` rule (flat, broadcast together) is
+    rotated to every pole ``(theta0[a], phi0[a])``; returns ``(theta,
+    phi)`` arrays of shape ``(n_poles, n_rule)``.
+    """
+    psi, alpha = np.broadcast_arrays(np.asarray(psi, float),
+                                     np.asarray(alpha, float))
+    sp = np.sin(psi).ravel()
+    pts = np.stack([sp * np.cos(alpha.ravel()),
+                    sp * np.sin(alpha.ravel()),
+                    np.cos(psi).ravel()], axis=-1)       # (n_rule, 3)
+    R = rotation_matrices_to_poles(theta0, phi0)         # (n_poles, 3, 3)
+    world = np.einsum("nj,aij->ani", pts, R)
+    z = np.clip(world[:, :, 2], -1.0, 1.0)
+    theta = np.arccos(z)
+    phi = np.arctan2(world[:, :, 1], world[:, :, 0]) % (2.0 * np.pi)
+    return theta, phi
+
+
 def rotated_sphere_points(theta0: float, phi0: float,
                           psi: np.ndarray, alpha: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Spherical coordinates of rotated grid points.

@@ -7,6 +7,14 @@ for ``0 <= l <= p`` and ``-l <= m <= l`` (entries outside the triangle are
 zero). Real fields keep the Hermitian symmetry ``c[l, -m] = (-1)^m
 conj(c[l, m])``; we store the full complex triangle for simplicity and
 return real grids from synthesis when the input was real.
+
+The Legendre (latitude) half of every transform is applied as one dense
+matrix contraction over the flattened ``(l, m)`` index rather than a
+Python loop over ``m``: the per-order tables cache analysis/synthesis
+matrices of shape ``(ncoef, nlat)`` (value, d/dtheta, d^2/dtheta^2) plus
+the per-coefficient phi-mode bookkeeping, so ``forward`` / ``inverse`` /
+``derivative_grid`` are an FFT plus a single vectorized contraction.
+Transforms themselves are cached per order via :func:`get_transform`.
 """
 from __future__ import annotations
 
@@ -22,88 +30,162 @@ from .alp import (
 from .grid import SphGrid, get_grid
 
 
+class _TransformTables:
+    """Per-order dense transform machinery (shared by all instances)."""
+
+    def __init__(self, order: int):
+        p = order
+        grid = get_grid(order)
+        self.grid = grid
+        P, dP, d2P = normalized_alp_theta_derivative2(order, grid.cos_theta)
+        self.P, self.dP, self.d2P = P, dP, d2P
+
+        # Flattened dense (l, m) index of the (p+1, 2p+1) coefficient array.
+        ls = np.repeat(np.arange(p + 1), 2 * p + 1)
+        ms = np.tile(np.arange(-p, p + 1), p + 1)
+        self.ls, self.ms = ls, ms
+        #: FFT column holding mode m (negative m wrap around).
+        self.cols = ms % grid.nphi
+        #: negative-m sign factors of the Y_l^{-m} = (-1)^m conj(Y_l^m)
+        #: convention, on the flat (l, m) index.
+        self.sign = np.where(ms < 0, (-1.0) ** np.abs(ms), 1.0)
+        sign = self.sign
+        # S_*[r, j] = sign_m * tab[l, |m|, j]; rows with |m| > l are zero
+        # because the ALP tables are zero there.
+        self.S_val = sign[:, None] * P[ls, np.abs(ms), :]
+        self.S_dth = sign[:, None] * dP[ls, np.abs(ms), :]
+        self.S_d2th = sign[:, None] * d2P[ls, np.abs(ms), :]
+        #: analysis matrix: S_val with the quadrature weights folded in.
+        self.A_lat = self.S_val * grid.glw[None, :]
+        self._analysis_dense = None
+        self._synthesis_dense = None
+
+    def synthesis_tab(self, which: str) -> tuple[np.ndarray, np.ndarray]:
+        """(latitude matrix, per-coefficient phi factor) for a derivative."""
+        if which in ("theta", "thetaphi"):
+            S = self.S_dth
+        elif which == "theta2":
+            S = self.S_d2th
+        else:
+            S = self.S_val
+        if which in ("phi", "thetaphi"):
+            fac = 1j * self.ms
+        elif which == "phi2":
+            fac = -(self.ms.astype(float) ** 2)
+        else:
+            fac = np.ones(self.ms.size)
+        return S, fac
+
+    def analysis_dense(self) -> np.ndarray:
+        """Full dense analysis matrix ``A``: ``c.ravel() = A @ f.ravel()``.
+
+        Shape ``((p+1)(2p+1), nlat * nphi)`` complex; built lazily (only
+        operator-assembly code paths need it).
+        """
+        if self._analysis_dense is None:
+            grid = self.grid
+            phase = np.exp(-1j * np.outer(self.ms, grid.phi))  # (ncoef, nphi)
+            A = (self.A_lat[:, :, None] * phase[:, None, :]
+                 * (2.0 * np.pi / grid.nphi))
+            self._analysis_dense = A.reshape(self.ms.size, grid.n_points)
+        return self._analysis_dense
+
+    def synthesis_dense(self) -> np.ndarray:
+        """Full dense synthesis matrix ``S``: ``f.ravel() = S @ c.ravel()``
+        (real part for real fields). Shape ``(nlat * nphi, (p+1)(2p+1))``."""
+        if self._synthesis_dense is None:
+            grid = self.grid
+            phase = np.exp(1j * np.outer(self.ms, grid.phi))
+            S = self.S_val[:, :, None] * phase[:, None, :]
+            self._synthesis_dense = (
+                S.reshape(self.ms.size, grid.n_points).T.copy())
+        return self._synthesis_dense
+
+
 @lru_cache(maxsize=32)
-def _analysis_tables(order: int):
-    """Precompute ALP tables on the grid colatitudes for a given order."""
-    grid = get_grid(order)
-    P, dP, d2P = normalized_alp_theta_derivative2(order, grid.cos_theta)
-    return grid, P, dP, d2P
+def _transform_tables(order: int) -> _TransformTables:
+    return _TransformTables(order)
 
 
 class SHTransform:
     """Reusable transform object for a fixed order ``p``.
 
-    The heavy trigonometric tables are cached per order, so constructing
-    these objects is cheap.
+    The heavy tables are cached per order, so constructing these objects
+    is cheap; prefer :func:`get_transform` to share instances outright.
     """
 
     def __init__(self, order: int):
         self.order = int(order)
-        self.grid, self._P, self._dP, self._d2P = _analysis_tables(self.order)
+        self._tab = _transform_tables(self.order)
+        self.grid: SphGrid = self._tab.grid
+        self._P, self._dP, self._d2P = (self._tab.P, self._tab.dP,
+                                        self._tab.d2P)
 
     # -- analysis ---------------------------------------------------------
     def forward(self, f: np.ndarray) -> np.ndarray:
-        """Forward SHT of a real or complex field of shape (nlat, nphi).
+        """Forward SHT of a real or complex field of shape (..., nlat, nphi).
 
-        Returns coefficients ``c`` of shape ``(p+1, 2p+1)`` with column
-        index ``m + p``.
+        Returns coefficients ``c`` of shape ``(..., p+1, 2p+1)`` with
+        column index ``m + p``; leading axes are batch dimensions (e.g.
+        the three coordinates of a vector field, transformed in one call).
         """
         p = self.order
         grid = self.grid
+        tab = self._tab
         f = np.asarray(f)
-        if f.shape != (grid.nlat, grid.nphi):
+        if f.shape[-2:] != (grid.nlat, grid.nphi):
             raise ValueError(f"expected field of shape {(grid.nlat, grid.nphi)}")
         # Fourier analysis in phi: F[j, m] = (2 pi / nphi) sum_k f e^{-im phi_k}
-        F = np.fft.fft(f, axis=1) * (2.0 * np.pi / grid.nphi)
-        c = np.zeros((p + 1, 2 * p + 1), dtype=complex)
-        wj = grid.glw  # includes sin(theta) dtheta Jacobian
-        for m in range(0, p + 1):
-            Fm = F[:, m]  # (nlat,)
-            # c_l^m = sum_j w_j Pbar_l^m(x_j) F_m(theta_j)
-            c[m:, p + m] = (self._P[m:, m] * (wj * Fm)[None, :]).sum(axis=1)
-            if m > 0:
-                Fmneg = F[:, grid.nphi - m]
-                sign = (-1.0) ** m
-                # Pbar_l^{-m} relation: Y_l^{-m} = (-1)^m conj(Y_l^m) =>
-                # use the same Pbar with the sign factor.
-                c[m:, p - m] = sign * (self._P[m:, m] * (wj * Fmneg)[None, :]).sum(axis=1)
-        return c
+        F = np.fft.fft(f, axis=-1) * (2.0 * np.pi / grid.nphi)
+        # Legendre analysis as one contraction over the flat (l, m) index:
+        # c_lm = sum_j A_lat[lm, j] F[j, col(m)].
+        c = np.einsum("rj,...jr->...r", tab.A_lat, F[..., tab.cols])
+        return c.reshape(*f.shape[:-2], p + 1, 2 * p + 1)
+
+    def analysis_matrix(self) -> np.ndarray:
+        """Dense analysis operator: ``forward(f).ravel() == A @ f.ravel()``."""
+        return self._tab.analysis_dense()
+
+    def synthesis_matrix(self) -> np.ndarray:
+        """Dense synthesis operator: ``inverse(c) == (S @ c.ravel()).real``."""
+        return self._tab.synthesis_dense()
 
     # -- synthesis --------------------------------------------------------
-    def inverse(self, c: np.ndarray, real: bool = True) -> np.ndarray:
-        """Synthesize the field on the native grid from coefficients."""
+    def _grid_synthesis(self, c: np.ndarray, which: str,
+                        real: bool) -> np.ndarray:
+        """Shared synthesis path of :meth:`inverse` / :meth:`derivative_grid`:
+        one latitude contraction, a phi-mode scatter, and an inverse FFT.
+        Leading axes of ``c`` are batch dimensions."""
         p = self.order
         grid = self.grid
-        F = np.zeros((grid.nlat, grid.nphi), dtype=complex)
-        for m in range(0, p + 1):
-            col = (self._P[m:, m] * c[m:, p + m][:, None]).sum(axis=0)
-            F[:, m] = col
-            if m > 0:
-                sign = (-1.0) ** m
-                F[:, grid.nphi - m] = sign * (self._P[m:, m] * c[m:, p - m][:, None]).sum(axis=0)
-        f = np.fft.ifft(F * grid.nphi, axis=1)
+        tab = self._tab
+        S, fac = tab.synthesis_tab(which)
+        c = np.asarray(c)
+        lead = c.shape[:-2]
+        cf = c.reshape(*lead, -1) * fac
+        # G[r, j] = S[r, j] c_r, folded over l for each m: (2p+1, nlat).
+        G = (S * cf[..., None]).reshape(*lead, p + 1, 2 * p + 1,
+                                        grid.nlat).sum(axis=-3)
+        F = np.zeros((*lead, grid.nlat, grid.nphi), dtype=complex)
+        F[..., tab.cols[: 2 * p + 1]] = np.swapaxes(G, -1, -2)
+        f = np.fft.ifft(F * grid.nphi, axis=-1)
         return f.real if real else f
 
-    def _synth_with_tables(self, c, tab, theta, phi, derivative):
-        p = self.order
-        theta = np.asarray(theta, dtype=float).ravel()
+    def inverse(self, c: np.ndarray, real: bool = True) -> np.ndarray:
+        """Synthesize the field on the native grid from coefficients."""
+        return self._grid_synthesis(c, "none", real)
+
+    def _synth_with_tables(self, c, tab, phi, derivative):
+        t = self._tab
         phi = np.asarray(phi, dtype=float).ravel()
-        npts = theta.size
-        out = np.zeros(npts, dtype=complex)
-        for m in range(-p, p + 1):
-            am = abs(m)
-            basis = tab[am:, am, :]  # (p+1-am, npts)
-            coef = c[am:, p + m]
-            radial = (basis * coef[:, None]).sum(axis=0)
-            if m < 0:
-                radial = radial * (-1.0) ** am
-            phase = np.exp(1j * m * phi)
-            if derivative in ("phi", "thetaphi"):
-                phase = phase * (1j * m)
-            elif derivative == "phi2":
-                phase = phase * (-(m * m))
-            out += radial * phase
-        return out
+        B = t.sign[:, None] * tab[t.ls, np.abs(t.ms), :]  # (ncoef, npts)
+        cf = np.asarray(c).ravel().copy()
+        if derivative in ("phi", "thetaphi"):
+            cf = cf * (1j * t.ms)
+        elif derivative == "phi2":
+            cf = cf * (-(t.ms.astype(float) ** 2))
+        phase = np.exp(1j * np.outer(t.ms, phi))
+        return ((B * phase).T @ cf)
 
     def evaluate(self, c: np.ndarray, theta: np.ndarray, phi: np.ndarray,
                  derivative: str = "none", real: bool = True) -> np.ndarray:
@@ -122,7 +204,7 @@ class SHTransform:
             tab = normalized_alp_theta_derivative2(p, x)[2]
         else:
             tab = normalized_alp(p, x)
-        out = self._synth_with_tables(c, tab, theta, phi, derivative)
+        out = self._synth_with_tables(c, tab, phi, derivative)
         return out.real if real else out
 
     # -- spectral derivatives on the native grid --------------------------
@@ -133,34 +215,7 @@ class SHTransform:
         ``"thetaphi"``, ``"phi2"``. Derivatives are exact for band-limited
         series (no product aliasing is introduced here).
         """
-        p = self.order
-        grid = self.grid
-        F = np.zeros((grid.nlat, grid.nphi), dtype=complex)
-        if which in ("theta", "thetaphi"):
-            tab = self._dP
-        elif which == "theta2":
-            tab = self._d2P
-        else:
-            tab = self._P
-        for m in range(0, p + 1):
-            col = (tab[m:, m] * c[m:, p + m][:, None]).sum(axis=0)
-            colneg = None
-            if m > 0:
-                sign = (-1.0) ** m
-                colneg = sign * (tab[m:, m] * c[m:, p - m][:, None]).sum(axis=0)
-            if which in ("phi", "thetaphi"):
-                col = col * (1j * m)
-                if colneg is not None:
-                    colneg = colneg * (-1j * m)
-            elif which == "phi2":
-                col = col * (-(m * m))
-                if colneg is not None:
-                    colneg = colneg * (-(m * m))
-            F[:, m] = col
-            if colneg is not None:
-                F[:, grid.nphi - m] = colneg
-        f = np.fft.ifft(F * grid.nphi, axis=1)
-        return f.real if real else f
+        return self._grid_synthesis(c, which, real)
 
     # -- resampling --------------------------------------------------------
     def resample(self, c: np.ndarray, new_order: int, real: bool = True) -> np.ndarray:
@@ -169,13 +224,21 @@ class SHTransform:
         Upsampling is exact; downsampling truncates the expansion.
         """
         q = int(new_order)
-        cq = np.zeros((q + 1, 2 * q + 1), dtype=complex)
         p = self.order
+        c = np.asarray(c)
+        cq = np.zeros((*c.shape[:-2], q + 1, 2 * q + 1), dtype=complex)
         lm = min(p, q)
-        for l in range(lm + 1):
-            for m in range(-l, l + 1):
-                cq[l, q + m] = c[l, p + m]
-        return SHTransform(q).inverse(cq, real=real)
+        # Entries outside the (l, |m| <= l) triangle are zero, so the
+        # triangle-preserving copy is a single block slice.
+        cq[..., : lm + 1, q - lm: q + lm + 1] = \
+            c[..., : lm + 1, p - lm: p + lm + 1]
+        return get_transform(q).inverse(cq, real=real)
+
+
+@lru_cache(maxsize=32)
+def get_transform(order: int) -> SHTransform:
+    """Cached per-order transform accessor (instances are stateless)."""
+    return SHTransform(order)
 
 
 def sht(f: np.ndarray, order: int | None = None) -> np.ndarray:
@@ -183,10 +246,10 @@ def sht(f: np.ndarray, order: int | None = None) -> np.ndarray:
     f = np.asarray(f)
     if order is None:
         order = f.shape[0] - 1
-    return SHTransform(order).forward(f)
+    return get_transform(order).forward(f)
 
 
 def isht(c: np.ndarray, real: bool = True) -> np.ndarray:
     """One-shot inverse transform; infers the order from ``c``."""
     order = c.shape[0] - 1
-    return SHTransform(order).inverse(c, real=real)
+    return get_transform(order).inverse(c, real=real)

@@ -11,12 +11,74 @@ vesicle codes such as [48].
 from __future__ import annotations
 
 import dataclasses
+from functools import lru_cache
 from typing import Optional
 
 import numpy as np
 
-from ..sph import SHTransform
-from ..sph.grid import SphGrid, get_grid
+from ..sph import SHTransform, get_transform
+from ..sph.grid import SphGrid
+
+
+def _phi_derivative_rows(F: np.ndarray) -> np.ndarray:
+    """Exact d/dphi via per-latitude FFT (rows are smooth periodic)."""
+    nphi = F.shape[1]
+    Fk = np.fft.fft(F, axis=1)
+    m = np.fft.fftfreq(nphi, d=1.0 / nphi)
+    m[nphi // 2] = 0.0  # drop the Nyquist mode of the derivative
+    return np.fft.ifft(Fk * (1j * m)[None, :], axis=1).real
+
+
+@lru_cache(maxsize=8)
+def _grid_operator_matrices(p: int, q: int) -> dict:
+    """Dense real grid-to-grid operators between orders ``p`` and ``q``.
+
+    Each matrix is the composition (forward SHT at the source order) ∘
+    (pad/truncate) ∘ (derivative synthesis at the target order), assembled
+    per azimuthal mode — the composition is block-diagonal in ``m``, so
+    assembly is a handful of tiny latitude GEMMs plus rank-1 phase outer
+    products rather than a dense complex triple product. With these, every
+    surface differential operator is one real GEMV per field instead of a
+    round of FFT-based transforms.
+
+    Keys: ``up_theta``/``up_phi`` (native grid -> theta/phi derivative on
+    the order-q grid), ``down`` (order-q grid -> band-limited native
+    grid), ``theta_q`` (order-q grid -> theta derivative on itself) and
+    ``dphi_rows`` (right-multiplication matrix for exact per-latitude
+    d/dphi on the order-q grid).
+    """
+    Tp, Tq = get_transform(p), get_transform(q)
+    gp, gq = Tp.grid, Tq.grid
+    Pp = Tp._P
+    Pq, dPq = Tq._P, Tq._dP
+    Dqp = gq.phi[:, None] - gp.phi[None, :]
+    Dqq = gq.phi[:, None] - gq.phi[None, :]
+
+    def compose(tab_syn, P_ana, w_ana, Delta, lmax, mmax, phi_deriv=False):
+        nls, nla = tab_syn.shape[2], P_ana.shape[2]
+        nps, npa = Delta.shape
+        M = np.zeros((nls, nps, nla, npa))
+        scale = 2.0 * np.pi / npa
+        for m in range(mmax + 1):
+            if phi_deriv and m == 0:
+                continue
+            # latitude kernel of mode m: contraction over degrees l
+            L = tab_syn[m: lmax + 1, m, :].T @ (P_ana[m: lmax + 1, m, :]
+                                                * w_ana[None, :])
+            if phi_deriv:
+                ph = (-2.0 * m * scale) * np.sin(m * Delta)
+            else:
+                ph = ((1.0 if m == 0 else 2.0) * scale) * np.cos(m * Delta)
+            M += L[:, None, :, None] * ph[None, :, None, :]
+        return M.reshape(nls * nps, nla * npa)
+
+    return {
+        "up_theta": compose(dPq, Pp, gp.glw, Dqp, p, p),
+        "up_phi": compose(Pq, Pp, gp.glw, Dqp, p, p, phi_deriv=True),
+        "down": compose(Pp, Pq, gq.glw, -Dqp.T, p, p),
+        "theta_q": compose(dPq, Pq, gq.glw, Dqq, q, q),
+        "dphi_rows": _phi_derivative_rows(np.eye(gq.nphi)),
+    }
 
 
 @dataclasses.dataclass
@@ -67,7 +129,7 @@ class SpectralSurface:
         if order is None:
             order = positions.shape[0] - 1
         self.order = int(order)
-        self.transform = SHTransform(self.order)
+        self.transform = get_transform(self.order)
         self.grid: SphGrid = self.transform.grid
         if positions.shape != (self.grid.nlat, self.grid.nphi, 3):
             raise ValueError("positions do not match the grid of this order")
@@ -89,9 +151,8 @@ class SpectralSurface:
     def coeffs(self) -> np.ndarray:
         """SH coefficients of the three coordinates, shape (3, p+1, 2p+1)."""
         if self._coeffs is None:
-            self._coeffs = np.stack([
-                self.transform.forward(self.X[:, :, k]) for k in range(3)
-            ])
+            self._coeffs = self.transform.forward(
+                np.moveaxis(self.X, -1, 0))
         return self._coeffs
 
     def set_positions(self, positions: np.ndarray) -> None:
@@ -121,10 +182,8 @@ class SpectralSurface:
 
     def upsampled(self, new_order: int) -> "SpectralSurface":
         """Exact band-limited resampling to a finer grid."""
-        c = self.coeffs()
-        Xup = np.stack([
-            self.transform.resample(c[k], new_order) for k in range(3)
-        ], axis=-1)
+        Xup = np.moveaxis(self.transform.resample(self.coeffs(), new_order),
+                          0, -1)
         return SpectralSurface(Xup, new_order, self.aliasing_factor)
 
     # -- geometry ------------------------------------------------------------
@@ -138,9 +197,10 @@ class SpectralSurface:
         coordinate-derivative fields is ever needed.
         """
         grid = T.grid
+        coeffs = np.asarray(coeffs)
 
         def d(which):
-            return np.stack([T.derivative_grid(coeffs[k], which) for k in range(3)], axis=-1)
+            return np.moveaxis(T.derivative_grid(coeffs, which), 0, -1)
 
         Xt, Xp = d("theta"), d("phi")
         Xtt, Xtp, Xpp = d("theta2"), d("thetaphi"), d("phi2")
@@ -168,11 +228,7 @@ class SpectralSurface:
         return self._geom
 
     def _pad_coeffs(self, c: np.ndarray, q: int) -> np.ndarray:
-        p = self.order
-        cq = np.zeros((q + 1, 2 * q + 1), dtype=complex)
-        for l in range(p + 1):
-            cq[l, q - l:q + l + 1] = c[l, p - l:p + l + 1]
-        return cq
+        return self._pad_coeffs_any(c, self.order, q)
 
     # -- integral quantities ---------------------------------------------------
     def area(self) -> float:
@@ -217,44 +273,46 @@ class SpectralSurface:
         """Anti-aliasing workspace: transform and geometry at order
         ``aliasing_factor * p`` (cached)."""
         if getattr(self, "_up_tables", None) is None:
-            q = max(self.order + 2, self.aliasing_factor * self.order)
-            Tq = SHTransform(q)
-            cq = [self._pad_coeffs(self.coeffs()[k], q) for k in range(3)]
+            Tq = get_transform(self._aliasing_order())
+            cq = self._pad_coeffs(self.coeffs(), Tq.order)
             geom_q = self._geometry_from_transform(Tq, cq)
             self._up_tables = (Tq, geom_q)
         return self._up_tables
 
-    def _scalar_coeffs_up(self, f: np.ndarray, Tq: SHTransform) -> np.ndarray:
-        """Expand a native-grid scalar and pad its coefficients to order q."""
-        cf = self.transform.forward(np.asarray(f, float))
-        return self._pad_coeffs_any(cf, self.order, Tq.order)
-
     @staticmethod
     def _pad_coeffs_any(c: np.ndarray, p: int, q: int) -> np.ndarray:
-        cq = np.zeros((q + 1, 2 * q + 1), dtype=complex)
-        for l in range(p + 1):
-            cq[l, q - l:q + l + 1] = c[l, p - l:p + l + 1]
+        """Zero-pad order-p coefficients to order q (batched over leading
+        axes); a block slice, since entries outside the triangle are zero."""
+        c = np.asarray(c)
+        cq = np.zeros((*c.shape[:-2], q + 1, 2 * q + 1), dtype=complex)
+        cq[..., : p + 1, q - p: q + p + 1] = c
         return cq
 
-    def _downsample_scalar(self, Tq: SHTransform, f: np.ndarray) -> np.ndarray:
-        """Band-limit a smooth order-q grid scalar back to the native grid."""
-        return Tq.resample(Tq.forward(f), self.order)
+    def _aliasing_order(self) -> int:
+        """Order of the anti-aliasing workspace grid."""
+        return max(self.order + 2, self.aliasing_factor * self.order)
+
+    def _op_matrices(self) -> dict:
+        """Dense surface-operator building blocks for this surface's
+        (native, anti-aliasing) order pair."""
+        return _grid_operator_matrices(self.order, self._aliasing_order())
 
     def surface_gradient(self, f: np.ndarray) -> np.ndarray:
         """Tangential gradient of a scalar grid field, shape (nlat, nphi, 3)."""
         Tq, g = self._upsampled_tables()
-        cf = self._scalar_coeffs_up(f, Tq)
-        ft = Tq.derivative_grid(cf, "theta")
-        fp = Tq.derivative_grid(cf, "phi")
+        ops = self._op_matrices()
+        shq = (Tq.grid.nlat, Tq.grid.nphi)
+        fv = np.asarray(f, float).reshape(-1)
+        ft = (ops["up_theta"] @ fv).reshape(shq)
+        fp = (ops["up_phi"] @ fv).reshape(shq)
         W2 = g.W ** 2
         a = (g.G * ft - g.F * fp) / W2
         b = (g.E * fp - g.F * ft) / W2
         grad_q = a[..., None] * g.X_theta + b[..., None] * g.X_phi
-        # The gradient is a smooth ambient vector field; downsample per
-        # component.
-        return np.stack([
-            self._downsample_scalar(Tq, grad_q[:, :, k]) for k in range(3)
-        ], axis=-1)
+        # The gradient is a smooth ambient vector field; band-limit all
+        # three components back with one GEMM.
+        return (ops["down"] @ grad_q.reshape(-1, 3)).reshape(
+            self.grid.nlat, self.grid.nphi, 3)
 
     def surface_divergence(self, v: np.ndarray) -> np.ndarray:
         """Surface divergence of an ambient vector field sampled on the grid.
@@ -263,28 +321,18 @@ class SpectralSurface:
         Eq. (2.9).
         """
         Tq, g = self._upsampled_tables()
-        v = np.asarray(v, float).reshape(self.grid.nlat, self.grid.nphi, 3)
-        vt = np.zeros(g.X_theta.shape)
-        vp = np.zeros(g.X_theta.shape)
-        for k in range(3):
-            cv = self._scalar_coeffs_up(v[:, :, k], Tq)
-            vt[:, :, k] = Tq.derivative_grid(cv, "theta")
-            vp[:, :, k] = Tq.derivative_grid(cv, "phi")
+        ops = self._op_matrices()
+        shq3 = (Tq.grid.nlat, Tq.grid.nphi, 3)
+        v = np.asarray(v, float).reshape(-1, 3)
+        vt = (ops["up_theta"] @ v).reshape(shq3)
+        vp = (ops["up_phi"] @ v).reshape(shq3)
         W2 = g.W ** 2
         e1 = (g.G[..., None] * g.X_theta - g.F[..., None] * g.X_phi) / W2[..., None]
         e2 = (g.E[..., None] * g.X_phi - g.F[..., None] * g.X_theta) / W2[..., None]
         div_q = (np.einsum("ijk,ijk->ij", e1, vt)
                  + np.einsum("ijk,ijk->ij", e2, vp))
-        return self._downsample_scalar(Tq, div_q)
-
-    @staticmethod
-    def _phi_derivative_rows(F: np.ndarray) -> np.ndarray:
-        """Exact d/dphi via per-latitude FFT (rows are smooth periodic)."""
-        nphi = F.shape[1]
-        Fk = np.fft.fft(F, axis=1)
-        m = np.fft.fftfreq(nphi, d=1.0 / nphi)
-        m[nphi // 2] = 0.0  # drop the Nyquist mode of the derivative
-        return np.fft.ifft(Fk * (1j * m)[None, :], axis=1).real
+        return (ops["down"] @ div_q.reshape(-1)).reshape(self.grid.nlat,
+                                                         self.grid.nphi)
 
     def laplace_beltrami(self, f: np.ndarray) -> np.ndarray:
         """Laplace-Beltrami of a scalar grid field.
@@ -298,12 +346,15 @@ class SpectralSurface:
         taken row-wise with an FFT, which is exact.
         """
         Tq, g = self._upsampled_tables()
-        cf = self._scalar_coeffs_up(f, Tq)
-        ft = Tq.derivative_grid(cf, "theta")
-        fp = Tq.derivative_grid(cf, "phi")
+        ops = self._op_matrices()
+        shq = (Tq.grid.nlat, Tq.grid.nphi)
+        fv = np.asarray(f, float).reshape(-1)
+        ft = (ops["up_theta"] @ fv).reshape(shq)
+        fp = (ops["up_phi"] @ fv).reshape(shq)
         P = (g.G * ft - g.F * fp) / g.W
         Q = (g.E * fp - g.F * ft) / g.W
-        dP = Tq.derivative_grid(Tq.forward(P), "theta")
-        dQ = self._phi_derivative_rows(Q)
+        dP = (ops["theta_q"] @ P.reshape(-1)).reshape(shq)
+        dQ = Q @ ops["dphi_rows"]
         lb_q = (dP + dQ) / g.W
-        return self._downsample_scalar(Tq, lb_q)
+        return (ops["down"] @ lb_q.reshape(-1)).reshape(self.grid.nlat,
+                                                        self.grid.nphi)

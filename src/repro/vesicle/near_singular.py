@@ -6,6 +6,14 @@ the single layer loses accuracy. Following the paper (Sec. 2.2, citing
 surface at the closest point with the singular rotation quadrature, compute
 it at check points placed along the outward normal with upsampled smooth
 quadrature, and interpolate between them to the target distance.
+
+The whole near pipeline is batched: near targets are found with one
+vectorized (chunked) min-distance sweep behind a bounding-sphere
+prefilter, the closest-point Newton iteration runs on all near targets at
+once, the on-surface rotation quadrature stacks every target's rotated
+nodes into a handful of synthesis calls, all check points go through a
+single :func:`stokes_slp_apply`, and the density's forward SHT is hoisted
+out of the per-target path entirely.
 """
 from __future__ import annotations
 
@@ -15,14 +23,16 @@ import numpy as np
 
 from ..kernels import stokes_slp_apply
 from ..quadrature.interpolation import barycentric_matrix, barycentric_weights
-from ..sph import SHTransform
 from ..sph.alp import normalized_alp, normalized_alp_theta_derivative2
-from ..sph.rotation import rotated_sphere_points
+from ..sph.rotation import rotated_sphere_points_batch
 from ..quadrature import gauss_legendre
 from ..surfaces import SpectralSurface
 from .self_interaction import pack_coeffs, _coeff_index
 
 _POLE_GUARD = 1e-7
+#: chunk sizes bounding transient ALP-table memory in the batched paths.
+_DIST_CHUNK = 512
+_SYNTH_POINT_BUDGET = 8192
 
 
 def _synthesize(surface: SpectralSurface, coeff_stack: np.ndarray,
@@ -79,6 +89,17 @@ class CellNearEvaluator:
         p = surface.order
         self.up_order = upsample_order or 2 * p
         self.check_order = check_order
+        # Rotation quadrature rule of the on-surface singular values
+        # (order-dependent only; hoisted out of the per-target path).
+        q = self.up_order
+        npsi, nalpha = q + 1, 2 * q + 2
+        psi, wpsi = gauss_legendre(npsi, 0.0, np.pi)
+        wpsi = wpsi * np.sin(psi)
+        alpha = 2.0 * np.pi * np.arange(nalpha) / nalpha
+        PSI, ALPHA = np.meshgrid(psi, alpha, indexing="ij")
+        self._rot_psi = PSI.ravel()
+        self._rot_alpha = ALPHA.ravel()
+        self._rot_w = np.outer(wpsi, np.full(nalpha, 2.0 * np.pi / nalpha)).ravel()
         self.refresh()
 
     def refresh(self) -> None:
@@ -91,96 +112,173 @@ class CellNearEvaluator:
         self.h = float(np.sqrt(surface.area() / self._fine.n_points))
         #: targets closer than this need the near scheme.
         self.near_distance = 3.0 * self.h
-        self._cX_packed = np.stack(
-            [pack_coeffs(surface.coeffs()[k]) for k in range(3)], axis=1)
+        self._cX_packed = pack_coeffs(surface.coeffs()).T
+        # Bounding sphere of the fine cloud: the broadphase filter in
+        # front of the exact min-distance near test.
+        pts = self._fine.points
+        self._center = pts.mean(axis=0)
+        self._radius = float(np.linalg.norm(pts - self._center, axis=1).max())
+        # Interpolation geometry of the check-point scheme. The nodes for
+        # an interior target are the mirror image of these; barycentric
+        # interpolation is invariant under that reflection, so one weight
+        # set serves both sides.
+        self._check_ts = np.concatenate(
+            [[0.0], self.near_distance + self.h * np.arange(self.check_order)])
+        self._check_w = barycentric_weights(self._check_ts)
 
     # -- closest point ------------------------------------------------------
+    def _nearest_fine_nodes(self, x: np.ndarray
+                            ) -> tuple[np.ndarray, np.ndarray]:
+        """Closest fine-grid node to each target: ``(index, squared
+        distance)``, computed in chunks."""
+        fine_pts = self._fine.points
+        i0 = np.empty(x.shape[0], dtype=int)
+        dmin2 = np.empty(x.shape[0])
+        for a in range(0, x.shape[0], _DIST_CHUNK):
+            diff = x[a:a + _DIST_CHUNK, None, :] - fine_pts[None, :, :]
+            d2 = np.einsum("tnk,tnk->tn", diff, diff)
+            best = np.argmin(d2, axis=1)
+            i0[a:a + _DIST_CHUNK] = best
+            dmin2[a:a + _DIST_CHUNK] = d2[np.arange(best.size), best]
+        return i0, dmin2
+
+    def closest_points(self, x: np.ndarray, newton_iters: int = 12,
+                       seeds: Optional[np.ndarray] = None
+                       ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Closest surface points to a batch of targets ``x`` (n, 3).
+
+        Returns ``(theta, phi, y, distance)`` arrays; Newton on the
+        squared distance in parameter space for all targets at once,
+        seeded from the best fine-grid node (``seeds``, an index array
+        into the fine point cloud, skips that scan when the caller — the
+        near filter — already found the nearest nodes).
+        """
+        x = np.atleast_2d(np.asarray(x, float))
+        n = x.shape[0]
+        g = self._fine.grid
+        i0 = self._nearest_fine_nodes(x)[0] if seeds is None else seeds
+        th = g.theta[i0 // g.nphi].copy()
+        ph = g.phi[i0 % g.nphi].copy()
+        active = np.ones(n, dtype=bool)
+        for _ in range(newton_iters):
+            idx = np.nonzero(active)[0]
+            if idx.size == 0:
+                break
+            X, Xt, Xp, Xtt, Xtp, Xpp = _synthesize(
+                self.surface, self._cX_packed, th[idx], ph[idx], derivs=True)
+            rvec = X - x[idx]
+            g1 = np.einsum("nk,nk->n", rvec, Xt)
+            g2 = np.einsum("nk,nk->n", rvec, Xp)
+            H11 = np.einsum("nk,nk->n", Xt, Xt) + np.einsum("nk,nk->n", rvec, Xtt)
+            H12 = np.einsum("nk,nk->n", Xt, Xp) + np.einsum("nk,nk->n", rvec, Xtp)
+            H22 = np.einsum("nk,nk->n", Xp, Xp) + np.einsum("nk,nk->n", rvec, Xpp)
+            det = H11 * H22 - H12 * H12
+            solvable = np.abs(det) > 0.0
+            active[idx[~solvable]] = False
+            idx = idx[solvable]
+            if idx.size == 0:
+                break
+            sel = solvable
+            step = np.stack([
+                (H22[sel] * g1[sel] - H12[sel] * g2[sel]) / det[sel],
+                (H11[sel] * g2[sel] - H12[sel] * g1[sel]) / det[sel]], axis=1)
+            f0 = 0.5 * np.einsum("nk,nk->n", rvec[sel], rvec[sel])
+            # Backtracking line search on the squared distance, batched:
+            # halve each target's step until its objective stops growing.
+            t = np.ones(idx.size)
+            accepted = np.zeros(idx.size, dtype=bool)
+            for _ in range(20):
+                rem = np.nonzero(~accepted)[0]
+                if rem.size == 0:
+                    break
+                th_c = np.clip(th[idx[rem]] - t[rem] * step[rem, 0],
+                               _POLE_GUARD, np.pi - _POLE_GUARD)
+                ph_c = (ph[idx[rem]] - t[rem] * step[rem, 1]) % (2.0 * np.pi)
+                Xn = _synthesize(self.surface, self._cX_packed, th_c, ph_c)
+                fn = 0.5 * np.einsum("nk,nk->n", Xn - x[idx[rem]],
+                                     Xn - x[idx[rem]])
+                ok = fn <= f0[rem]
+                th[idx[rem[ok]]] = th_c[ok]
+                ph[idx[rem[ok]]] = ph_c[ok]
+                accepted[rem[ok]] = True
+                t[rem[~ok]] *= 0.5
+            converged = np.linalg.norm(t[:, None] * step, axis=1) < 1e-12
+            active[idx[converged]] = False
+        y = _synthesize(self.surface, self._cX_packed, th, ph)
+        return th, ph, y, np.linalg.norm(y - x, axis=1)
+
     def closest_point(self, x: np.ndarray, newton_iters: int = 12
                       ) -> tuple[float, float, np.ndarray, float]:
-        """Closest point on the cell to ``x``.
+        """Single-target convenience wrapper around :meth:`closest_points`."""
+        th, ph, y, d = self.closest_points(np.asarray(x, float)[None, :],
+                                           newton_iters)
+        return float(th[0]), float(ph[0]), y[0], float(d[0])
 
-        Returns ``(theta, phi, y, distance)``; Newton on the squared
-        distance in parameter space, seeded from the best fine-grid node.
-        """
-        x = np.asarray(x, float)
-        fine_pts = self._fine.points
-        d2 = np.einsum("nk,nk->n", fine_pts - x, fine_pts - x)
-        i0 = int(np.argmin(d2))
-        g = self._fine.grid
-        th = g.theta[i0 // g.nphi]
-        ph = g.phi[i0 % g.nphi]
-        for _ in range(newton_iters):
-            X, Xt, Xp, Xtt, Xtp, Xpp = _synthesize(
-                self.surface, self._cX_packed, np.array([th]), np.array([ph]),
-                derivs=True)
-            rvec = (X[0] - x)
-            grad = np.array([rvec @ Xt[0], rvec @ Xp[0]])
-            Hmat = np.array([
-                [Xt[0] @ Xt[0] + rvec @ Xtt[0], Xt[0] @ Xp[0] + rvec @ Xtp[0]],
-                [Xt[0] @ Xp[0] + rvec @ Xtp[0], Xp[0] @ Xp[0] + rvec @ Xpp[0]],
-            ])
-            try:
-                step = np.linalg.solve(Hmat, grad)
-            except np.linalg.LinAlgError:
-                break
-            # Backtracking line search on the squared distance.
-            f0 = 0.5 * float(rvec @ rvec)
-            t = 1.0
-            for _ in range(20):
-                th_n = np.clip(th - t * step[0], _POLE_GUARD, np.pi - _POLE_GUARD)
-                ph_n = (ph - t * step[1]) % (2.0 * np.pi)
-                Xn = _synthesize(self.surface, self._cX_packed,
-                                 np.array([th_n]), np.array([ph_n]))
-                fn = 0.5 * float(np.sum((Xn[0] - x) ** 2))
-                if fn <= f0:
-                    th, ph = th_n, ph_n
-                    break
-                t *= 0.5
-            if np.linalg.norm(t * step) < 1e-12:
-                break
-        y = _synthesize(self.surface, self._cX_packed,
-                        np.array([th]), np.array([ph]))[0]
-        return float(th), float(ph), y, float(np.linalg.norm(y - x))
+    def _surface_normals_at(self, th: np.ndarray,
+                            ph: np.ndarray) -> np.ndarray:
+        _, Xt, Xp, *_ = _synthesize(self.surface, self._cX_packed,
+                                    th, ph, derivs=True)
+        nrm = np.cross(Xt, Xp)
+        return nrm / np.linalg.norm(nrm, axis=1, keepdims=True)
 
     def _surface_normal_at(self, th: float, ph: float) -> np.ndarray:
-        _, Xt, Xp, *_ = _synthesize(self.surface, self._cX_packed,
-                                    np.array([th]), np.array([ph]), derivs=True)
-        n = np.cross(Xt[0], Xp[0])
-        return n / np.linalg.norm(n)
+        return self._surface_normals_at(np.array([th]), np.array([ph]))[0]
 
-    # -- singular on-surface value at an arbitrary surface point -------------
+    # -- singular on-surface value at arbitrary surface points ---------------
+    def _packed_density_coeffs(self, density: np.ndarray) -> np.ndarray:
+        density = np.asarray(density, float).reshape(
+            self.surface.grid.nlat, self.surface.grid.nphi, 3)
+        T = self.surface.transform
+        return pack_coeffs(T.forward(np.moveaxis(density, -1, 0))).T
+
+    def _on_surface_velocities(self, th: np.ndarray, ph: np.ndarray,
+                               cf: np.ndarray,
+                               x0: Optional[np.ndarray] = None) -> np.ndarray:
+        """Rotation-quadrature single-layer values at surface points.
+
+        ``cf`` is the packed density coefficient stack (ncoef, 3); ``x0``
+        the surface positions at (th, ph) when already known (from the
+        closest-point solve). All targets' rotated nodes are stacked into
+        chunked synthesis calls, then reduced per target.
+        """
+        surf = self.surface
+        n = th.size
+        nrot = self._rot_psi.size
+        stack = np.concatenate([self._cX_packed, cf], axis=1)
+        out = np.empty((n, 3))
+        if x0 is None:
+            x0 = _synthesize(surf, self._cX_packed, th, ph)
+        scale = 1.0 / (8.0 * np.pi * self.viscosity)
+        chunk = max(1, _SYNTH_POINT_BUDGET // nrot)
+        for a in range(0, n, chunk):
+            sl = slice(a, min(a + chunk, n))
+            k = sl.stop - sl.start
+            th_r, ph_r = rotated_sphere_points_batch(
+                th[sl], ph[sl], self._rot_psi, self._rot_alpha)
+            X, Xt, Xp, *_ = _synthesize(surf, stack, th_r.ravel(),
+                                        ph_r.ravel(), derivs=True)
+            Xr = X[:, :3].reshape(k, nrot, 3)
+            fr = X[:, 3:].reshape(k, nrot, 3)
+            W = np.linalg.norm(np.cross(Xt[:, :3], Xp[:, :3]),
+                               axis=-1).reshape(k, nrot)
+            th_rc = np.clip(th_r, _POLE_GUARD, np.pi - _POLE_GUARD)
+            wq = self._rot_w[None, :] * W / np.sin(th_rc)
+            r = x0[sl][:, None, :] - Xr
+            r2 = np.einsum("tnk,tnk->tn", r, r)
+            inv_r = 1.0 / np.sqrt(r2)
+            fw = fr * wq[:, :, None]
+            rf = np.einsum("tnk,tnk->tn", r, fw)
+            out[sl] = scale * (
+                np.einsum("tn,tnk->tk", inv_r, fw)
+                + np.einsum("tn,tnk->tk", rf * inv_r ** 3, r))
+        return out
+
     def on_surface_velocity(self, th: float, ph: float,
                             density: np.ndarray) -> np.ndarray:
         """Rotation-quadrature single-layer value at surface point (th, ph)."""
-        surf = self.surface
-        p = surf.order
-        q = self.up_order
-        npsi, nalpha = q + 1, 2 * q + 2
-        psi, wpsi = gauss_legendre(npsi, 0.0, np.pi)
-        wpsi = wpsi * np.sin(psi)
-        alpha = 2.0 * np.pi * np.arange(nalpha) / nalpha
-        PSI, ALPHA = np.meshgrid(psi, alpha, indexing="ij")
-        th_r, ph_r = rotated_sphere_points(th, ph, PSI.ravel(), ALPHA.ravel())
-        density = np.asarray(density, float).reshape(surf.grid.nlat,
-                                                     surf.grid.nphi, 3)
-        cf = np.stack([pack_coeffs(surf.transform.forward(density[:, :, k]))
-                       for k in range(3)], axis=1)
-        stack = np.concatenate([self._cX_packed, cf], axis=1)
-        X, Xt, Xp, *_ = _synthesize(surf, stack, th_r, ph_r, derivs=True)
-        Xr, fr = X[:, :3], X[:, 3:]
-        W = np.linalg.norm(np.cross(Xt[:, :3], Xp[:, :3]), axis=-1)
-        th_rc = np.clip(th_r, _POLE_GUARD, np.pi - _POLE_GUARD)
-        wq = (np.outer(wpsi, np.full(nalpha, 2.0 * np.pi / nalpha)).ravel()
-              * W / np.sin(th_rc))
-        x0 = _synthesize(surf, self._cX_packed, np.array([th]), np.array([ph]))[0]
-        r = x0[None, :] - Xr
-        r2 = np.einsum("nk,nk->n", r, r)
-        inv_r = 1.0 / np.sqrt(r2)
-        fw = fr * wq[:, None]
-        rf = np.einsum("nk,nk->n", r, fw)
-        scale = 1.0 / (8.0 * np.pi * self.viscosity)
-        return scale * ((inv_r[:, None] * fw).sum(axis=0)
-                        + (rf * inv_r ** 3)[:, None].T @ r).ravel()
+        cf = self._packed_density_coeffs(density)
+        return self._on_surface_velocities(np.array([float(th)]),
+                                           np.array([float(ph)]), cf)[0]
 
     # -- public evaluation ----------------------------------------------------
     def weighted_fine_density(self, density: np.ndarray) -> np.ndarray:
@@ -193,10 +291,29 @@ class CellNearEvaluator:
         density = np.asarray(density, float).reshape(self.surface.grid.nlat,
                                                      self.surface.grid.nphi, 3)
         T = self.surface.transform
-        dens_fine = np.stack([
-            T.resample(T.forward(density[:, :, k]), self.up_order)
-            for k in range(3)], axis=-1)
+        cf = T.forward(np.moveaxis(density, -1, 0))
+        dens_fine = np.moveaxis(T.resample(cf, self.up_order), 0, -1)
         return dens_fine * self._fine_w[..., None]
+
+    def near_target_indices(self, targets: np.ndarray) -> np.ndarray:
+        """Indices of targets inside the near zone of the fine cloud."""
+        return self._near_scan(np.atleast_2d(np.asarray(targets, float)))[0]
+
+    def _near_scan(self, targets: np.ndarray
+                   ) -> tuple[np.ndarray, np.ndarray]:
+        """Near-zone filter: ``(near indices, their nearest fine nodes)``.
+
+        A bounding-sphere broadphase rejects the bulk; survivors get the
+        exact chunked min-distance test, whose argmin doubles as the
+        closest-point Newton seed.
+        """
+        d_ctr = np.linalg.norm(targets - self._center[None, :], axis=1)
+        cand = np.nonzero(d_ctr < self._radius + self.near_distance)[0]
+        if cand.size == 0:
+            return cand, cand
+        seeds, dmin2 = self._nearest_fine_nodes(targets[cand])
+        near = dmin2 < self.near_distance ** 2
+        return cand[near], seeds[near]
 
     def evaluate(self, density: np.ndarray, targets: np.ndarray,
                  fine_weighted: Optional[np.ndarray] = None) -> np.ndarray:
@@ -208,37 +325,37 @@ class CellNearEvaluator:
               else self.weighted_fine_density(density))
         out = stokes_slp_apply(self._fine.points, fw.reshape(-1, 3), targets,
                                self.viscosity)
-        # Identify near targets by distance to the fine point cloud.
-        fine_pts = self._fine.points
-        for t_idx in range(targets.shape[0]):
-            x = targets[t_idx]
-            dmin = np.sqrt(np.min(np.einsum("nk,nk->n", fine_pts - x,
-                                            fine_pts - x)))
-            if dmin >= self.near_distance:
-                continue
-            out[t_idx] = self._near_value(density, fw, x)
+        near, seeds = self._near_scan(targets)
+        if near.size:
+            out[near] = self._near_values(density, fw, targets[near], seeds)
         return out
 
-    def _near_value(self, density: np.ndarray, fine_weighted: np.ndarray,
-                    x: np.ndarray) -> np.ndarray:
-        th, ph, y, d = self.closest_point(x)
-        n = self._surface_normal_at(th, ph)
+    def _near_values(self, density: np.ndarray, fine_weighted: np.ndarray,
+                     x: np.ndarray,
+                     seeds: Optional[np.ndarray] = None) -> np.ndarray:
+        """Near-scheme velocities for a batch of near targets ``x`` (n, 3)."""
+        n = x.shape[0]
+        th, ph, y, d = self.closest_points(x, seeds=seeds)
+        nrm = self._surface_normals_at(th, ph)
         # Signed distance: positive along outward normal. Cell-cell targets
         # are always exterior; near interior targets (which only occur in
         # diagnostics) mirror to the interior side.
-        sgn = float(np.sign((x - y) @ n)) or 1.0
-        ds = sgn * d
+        sgn = np.sign(np.einsum("nk,nk->n", x - y, nrm))
+        sgn[sgn == 0.0] = 1.0
         # Interpolation nodes: 0 (on-surface, singular quadrature) plus
         # check points from the first trusted distance outward.
         p_chk = self.check_order
-        ts = sgn * (self.near_distance + self.h * np.arange(p_chk))
-        ts = np.concatenate([[0.0], ts])
-        vals = np.empty((ts.size, 3))
-        vals[0] = self.on_surface_velocity(th, ph, density)
-        checks = y[None, :] + ts[1:, None] * n[None, :]
-        vals[1:] = stokes_slp_apply(self._fine.points,
-                                    fine_weighted.reshape(-1, 3), checks,
-                                    self.viscosity)
-        w = barycentric_weights(ts)
-        M = barycentric_matrix(ts, np.array([ds]), w)
-        return (M @ vals).ravel()
+        cf = self._packed_density_coeffs(density)
+        vals = np.empty((n, p_chk + 1, 3))
+        vals[:, 0, :] = self._on_surface_velocities(th, ph, cf, x0=y)
+        checks = (y[:, None, :]
+                  + (sgn[:, None] * self._check_ts[None, 1:])[:, :, None]
+                  * nrm[:, None, :])
+        vals[:, 1:, :] = stokes_slp_apply(
+            self._fine.points, fine_weighted.reshape(-1, 3),
+            checks.reshape(-1, 3), self.viscosity).reshape(n, p_chk, 3)
+        # Interpolate each target to its (unsigned) distance: barycentric
+        # interpolation is reflection-invariant, so the one-sided node set
+        # serves interior targets too.
+        M = barycentric_matrix(self._check_ts, d, self._check_w)
+        return np.einsum("nc,nck->nk", M, vals)

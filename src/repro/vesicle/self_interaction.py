@@ -12,9 +12,17 @@ The expensive, geometry-independent parts (rotated parameter coordinates
 and complex synthesis matrices) depend only on the pair of orders
 ``(p, q_rot)`` and the target's *latitude row* — a rotation about the polar
 axis only multiplies SH coefficients by phases. They are therefore built
-once per order pair and cached (the "precomputed singular integration
-operator" of [28] the paper credits with a substantial complexity
-improvement).
+once per order pair and cached.
+
+At frozen geometry the whole operator ``density -> velocity`` is a fixed
+linear map, so :meth:`SingularSelfInteraction.refresh` additionally
+assembles it as one dense ``(3N, 3N)`` matrix (the precomputed singular
+integration operator of [28] the paper credits with a substantial
+complexity improvement): the per-target kernel tensor is contracted with
+the cached rotated-synthesis matrices and composed with the dense forward
+SHT, after which every :meth:`~SingularSelfInteraction.apply` — called
+inside the tension solve, every implicit-GMRES matvec, and the NCP
+mobility — is a single GEMV.
 """
 from __future__ import annotations
 
@@ -23,7 +31,7 @@ from functools import lru_cache
 import numpy as np
 
 from ..quadrature import gauss_legendre
-from ..sph.alp import normalized_alp, normalized_alp_theta_derivative
+from ..sph.alp import normalized_alp_theta_derivative
 from ..sph.grid import get_grid
 from ..sph.rotation import rotated_sphere_points
 from ..surfaces import SpectralSurface
@@ -42,10 +50,14 @@ def _coeff_index(p: int) -> tuple[np.ndarray, np.ndarray]:
 
 
 def pack_coeffs(c: np.ndarray) -> np.ndarray:
-    """Dense (p+1, 2p+1) coefficient array -> flat (l, m) vector."""
-    p = c.shape[0] - 1
+    """Dense (..., p+1, 2p+1) coefficient array -> flat (..., (l, m)) vector.
+
+    Leading axes are batch dimensions (e.g. vector-field components).
+    """
+    c = np.asarray(c)
+    p = c.shape[-2] - 1
     ls, ms = _coeff_index(p)
-    return c[ls, p + ms]
+    return c[..., ls, p + ms]
 
 
 @lru_cache(maxsize=8)
@@ -74,13 +86,17 @@ class _RotationTables:
         ls, ms = _coeff_index(p)
         self.ncoef = ls.size
         self.ms = ms
+        #: packed rows inside the dense (p+1)(2p+1) coefficient layout.
+        self.packed_rows = ls * (2 * p + 1) + (p + ms)
+        #: loop-invariant longitude phases exp(i m phi_t), shape
+        #: (ncoef, nphi) — the azimuthal-rotation trick: moving a target
+        #: around its latitude row only multiplies coefficients by these.
+        self.phases = np.exp(1j * ms[:, None] * grid.phi[None, :])
 
         # Per latitude row: rotated coordinates for phi0 = 0 and synthesis
-        # matrices (value, d/dtheta, d/dphi) from packed coefficients.
-        self.row_sin_theta_r = []
-        self.B_val = []
-        self.B_dth = []
-        self.B_dph = []
+        # matrices (value, d/dtheta, d/dphi) from packed coefficients;
+        # stacked over rows so downstream contractions are batched GEMMs.
+        row_sin, Bvs, Bts, Bps = [], [], [], []
         for i in range(grid.nlat):
             th_r, ph_r = rotated_sphere_points(grid.theta[i], 0.0,
                                                PSI.ravel(), ALPHA.ravel())
@@ -92,12 +108,24 @@ class _RotationTables:
             Pm = P[ls, np.abs(ms), :].T * sign[None, :]   # (nrot, ncoef)
             dPm = dP[ls, np.abs(ms), :].T * sign[None, :]
             Bv = Pm * phase
-            Bt = dPm * phase
-            Bp = Bv * (1j * ms)[None, :]
-            self.row_sin_theta_r.append(np.sin(th_r))
-            self.B_val.append(Bv)
-            self.B_dth.append(Bt)
-            self.B_dph.append(Bp)
+            row_sin.append(np.sin(th_r))
+            Bvs.append(Bv)
+            Bts.append(dPm * phase)
+            Bps.append(Bv * (1j * ms)[None, :])
+        #: (nlat, nrot) / (nlat, nrot, ncoef) stacks; row i of each is the
+        #: per-latitude machinery of the phi0 = 0 target of that row.
+        self.row_sin_theta_r = np.stack(row_sin)
+        self.B_val = np.stack(Bvs)
+        self.B_dth = np.stack(Bts)
+        self.B_dph = np.stack(Bps)
+        # Contiguous real/imaginary parts: downstream compositions only
+        # need real results, so complex GEMMs are split into real pairs.
+        self.B_val_re = np.ascontiguousarray(self.B_val.real)
+        self.B_val_im = np.ascontiguousarray(self.B_val.imag)
+        self.B_dth_re = np.ascontiguousarray(self.B_dth.real)
+        self.B_dth_im = np.ascontiguousarray(self.B_dth.imag)
+        self.B_dph_re = np.ascontiguousarray(self.B_dph.real)
+        self.B_dph_im = np.ascontiguousarray(self.B_dph.imag)
 
 
 class SingularSelfInteraction:
@@ -105,7 +133,9 @@ class SingularSelfInteraction:
 
     ``apply(density)`` returns the velocity induced *on the cell's own
     surface* by a force density sampled on its grid — the implicit
-    self-interaction term ``S_i f_i`` of paper Eq. (2.8).
+    self-interaction term ``S_i f_i`` of paper Eq. (2.8). The operator is
+    assembled as a dense matrix at every :meth:`refresh`, so ``apply`` is
+    a single matrix-vector product.
     """
 
     def __init__(self, surface: SpectralSurface, viscosity: float = 1.0,
@@ -115,7 +145,12 @@ class SingularSelfInteraction:
         p = surface.order
         q_rot = max(p, int(np.ceil(upsample * p)))
         self.tables = _RotationTables(p, q_rot)
-        self._prepare_geometry()
+        # Packed-row forward SHT (geometry-independent), split for the
+        # real-GEMM composition in :meth:`_assemble_matrix`.
+        A = surface.transform.analysis_matrix()[self.tables.packed_rows]
+        self._A_re = np.ascontiguousarray(A.real)
+        self._A_im = np.ascontiguousarray(A.imag)
+        self.refresh()
 
     def _prepare_geometry(self) -> None:
         """Evaluate surface position and area element at all rotated points.
@@ -126,37 +161,101 @@ class SingularSelfInteraction:
         surf = self.surface
         tb = self.tables
         grid = surf.grid
-        cX = surf.coeffs()
-        packed = np.stack([pack_coeffs(cX[k]) for k in range(3)], axis=1)  # (ncoef, 3)
+        packed = pack_coeffs(surf.coeffs()).T                  # (ncoef, 3)
         nlat, nphi = grid.nlat, grid.nphi
-        nrot = tb.nrot
-        self.X_rot = np.empty((nlat, nphi, nrot, 3))
-        self.w_rot = np.empty((nlat, nphi, nrot))
-        ms = tb.ms
-        for i in range(nlat):
-            phases = np.exp(1j * ms[:, None] * grid.phi[None, :])  # (ncoef, nphi)
-            # batched synthesis over the row: (nrot, ncoef) @ (ncoef, nphi*3)
-            C = packed[:, None, :] * phases[:, :, None]            # (ncoef, nphi, 3)
-            C = C.reshape(tb.ncoef, nphi * 3)
-            val = (tb.B_val[i] @ C).reshape(nrot, nphi, 3)
-            dth = (tb.B_dth[i] @ C).reshape(nrot, nphi, 3)
-            dph = (tb.B_dph[i] @ C).reshape(nrot, nphi, 3)
-            Xr = val.real.transpose(1, 0, 2)
-            Xt = dth.real.transpose(1, 0, 2)
-            Xp = dph.real.transpose(1, 0, 2)
-            W = np.linalg.norm(np.cross(Xt, Xp), axis=-1)
-            self.X_rot[i] = Xr
-            self.w_rot[i] = (W / tb.row_sin_theta_r[i][None, :]) * tb.weights[None, :]
+        nrot, ncoef = tb.nrot, tb.ncoef
+        # One synthesis per derivative kind for *all* rows at once, as a
+        # real GEMM pair: Re(B @ C) = Br @ Cr - Bi @ Ci.
+        C = (packed[:, None, :] * tb.phases[:, :, None]).reshape(ncoef,
+                                                                 nphi * 3)
+        Cr = np.ascontiguousarray(C.real)
+        Ci = np.ascontiguousarray(C.imag)
+
+        def synth(B_re, B_im):
+            out = (B_re.reshape(nlat * nrot, ncoef) @ Cr
+                   - B_im.reshape(nlat * nrot, ncoef) @ Ci)
+            return out.reshape(nlat, nrot, nphi, 3).transpose(0, 2, 1, 3)
+
+        Xr = synth(tb.B_val_re, tb.B_val_im)                   # (nlat, nphi, nrot, 3)
+        Xt = synth(tb.B_dth_re, tb.B_dth_im)
+        Xp = synth(tb.B_dph_re, tb.B_dph_im)
+        W = np.linalg.norm(np.cross(Xt, Xp), axis=-1)
+        self.X_rot = Xr
+        self.w_rot = ((W / tb.row_sin_theta_r[:, None, :])
+                      * tb.weights[None, None, :])
+
+    def _assemble_matrix(self) -> None:
+        """Assemble the dense operator ``density.ravel() -> velocity.ravel()``.
+
+        Composition, per target row ``i`` (all ``nphi`` targets at once):
+        kernel-and-weights tensor ``KW`` (target, rotated node, k, j)
+        contracted with the cached rotated synthesis ``B_val[i]`` over the
+        rotated nodes, the azimuthal phases over targets, and the dense
+        forward-SHT matrix over grid nodes. All contractions are GEMMs.
+        """
+        surf = self.surface
+        tb = self.tables
+        grid = surf.grid
+        nlat, nphi, nrot, ncoef = grid.nlat, grid.nphi, tb.nrot, tb.ncoef
+        n = grid.n_points
+        scale = 1.0 / (8.0 * np.pi * self.viscosity)
+        ph_r = tb.phases.T.real[None, :, None, :]
+        ph_i = tb.phases.T.imag[None, :, None, :]
+        M = np.empty((nlat, nphi, 3, n, 3))
+        # The (rows, nphi, nrot, 3, 3) kernel tensor scales like O(p^6);
+        # process latitude rows in groups bounded by a flat byte budget so
+        # the transient stays modest at high order.
+        rows = max(1, int(24e6 // (nphi * nrot * 9 * 8)))
+        for a in range(0, nlat, rows):
+            sl = slice(a, min(a + rows, nlat))
+            r = surf.X[sl, :, None, :] - self.X_rot[sl]  # (rows, nphi, nrot, 3)
+            inv_r = 1.0 / np.sqrt(np.einsum("itsk,itsk->its", r, r))
+            w = scale * self.w_rot[sl]
+            # KW[i, t, s, k, j] = w ( inv_r delta_kj + r_k r_j inv_r^3 )
+            KW = ((w * inv_r)[..., None, None] * np.eye(3)
+                  + (r * (w * inv_r ** 3)[..., None])[..., :, None]
+                  * r[..., None, :])
+            # contract rotated nodes with the per-row synthesis matrices
+            # (batched real GEMMs over latitude rows)
+            KWt = KW.transpose(0, 1, 3, 4, 2).reshape(-1, nphi * 9, nrot)
+            Qr = np.matmul(KWt, tb.B_val_re[sl]).reshape(-1, nphi, 9, ncoef)
+            Qi = np.matmul(KWt, tb.B_val_im[sl]).reshape(-1, nphi, 9, ncoef)
+            # azimuthal phase of each target column
+            Q2r = (Qr * ph_r - Qi * ph_i).reshape(-1, nphi * 9, ncoef)
+            Q2i = (Qr * ph_i + Qi * ph_r).reshape(-1, nphi * 9, ncoef)
+            # compose with the forward transform; densities are real, so
+            # the real part of the composition is the full operator:
+            # Re((Q2r + i Q2i) @ (Ar + i Ai)) = Q2r @ Ar - Q2i @ Ai.
+            Mi = np.matmul(Q2r, self._A_re) - np.matmul(Q2i, self._A_im)
+            M[sl] = (Mi.reshape(-1, nphi, 3, 3, n)
+                     .transpose(0, 1, 2, 4, 3))
+        self._matrix = M.reshape(3 * n, 3 * n)
 
     def refresh(self) -> None:
-        """Re-evaluate cached geometry after the surface has moved."""
+        """Re-evaluate cached geometry and reassemble the dense operator
+        after the surface has moved."""
         self._prepare_geometry()
+        self._assemble_matrix()
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The dense ``(3N, 3N)`` operator at the current geometry."""
+        return self._matrix
 
     def apply(self, density: np.ndarray) -> np.ndarray:
         """Velocity on the surface from force density ``f`` (grid field).
 
-        Shape in/out: ``(nlat, nphi, 3)``.
+        Shape in/out: ``(nlat, nphi, 3)``. One GEMV against the assembled
+        operator matrix.
         """
+        grid = self.surface.grid
+        density = np.asarray(density, float)
+        return (self._matrix @ density.ravel()).reshape(
+            grid.nlat, grid.nphi, 3)
+
+    def apply_reference(self, density: np.ndarray) -> np.ndarray:
+        """Seed-path re-synthesis evaluation (reference for the assembled
+        matrix; kept for verification and convergence tests)."""
         surf = self.surface
         tb = self.tables
         grid = surf.grid
@@ -165,11 +264,9 @@ class SingularSelfInteraction:
         packed = np.stack([pack_coeffs(cf[k]) for k in range(3)], axis=1)
         out = np.empty_like(density)
         scale = 1.0 / (8.0 * np.pi * self.viscosity)
-        ms = tb.ms
         targets = surf.X
+        C = (packed[:, None, :] * tb.phases[:, :, None]).reshape(tb.ncoef, -1)
         for i in range(grid.nlat):
-            phases = np.exp(1j * ms[:, None] * grid.phi[None, :])
-            C = (packed[:, None, :] * phases[:, :, None]).reshape(tb.ncoef, -1)
             f_rot = (tb.B_val[i] @ C).reshape(tb.nrot, grid.nphi, 3).real
             f_rot = f_rot.transpose(1, 0, 2)                    # (nphi, nrot, 3)
             fw = f_rot * self.w_rot[i][:, :, None]

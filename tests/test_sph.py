@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 from scipy.special import sph_harm_y
 
-from repro.sph import SHTransform, isht, sht
+from repro.sph import SHTransform, get_transform, isht, sht
 from repro.sph.alp import (
     normalized_alp,
     normalized_alp_theta_derivative,
@@ -161,6 +161,38 @@ class TestTransform:
         c = random_real_coeffs(p, seed=p)
         T = SHTransform(p)
         assert np.abs(T.forward(T.inverse(c)) - c).max() < 1e-11
+
+    def test_get_transform_cached_identity_and_roundtrip(self):
+        T = get_transform(7)
+        assert T is get_transform(7)
+        assert T.grid is get_transform(7).grid
+        c = random_real_coeffs(7, seed=13)
+        assert np.abs(T.forward(T.inverse(c)) - c).max() < 1e-12
+
+    def test_batched_transforms_match_per_field(self, rng):
+        p = 6
+        T = get_transform(p)
+        f = rng.normal(size=(3, p + 1, 2 * p + 2))
+        cb = T.forward(f)
+        for k in range(3):
+            assert np.abs(cb[k] - T.forward(f[k])).max() < 1e-14
+        gb = T.derivative_grid(cb, "theta")
+        rb = T.resample(cb, p + 3)
+        for k in range(3):
+            assert np.abs(gb[k] - T.derivative_grid(cb[k], "theta")).max() < 1e-14
+            assert np.abs(rb[k] - T.resample(cb[k], p + 3)).max() < 1e-14
+
+    def test_dense_matrices_match_transforms(self, rng):
+        p = 5
+        T = get_transform(p)
+        f = rng.normal(size=(p + 1, 2 * p + 2))
+        A = T.analysis_matrix()
+        assert np.abs((A @ f.ravel()).reshape(p + 1, 2 * p + 1)
+                      - T.forward(f)).max() < 1e-13
+        c = random_real_coeffs(p, seed=4)
+        S = T.synthesis_matrix()
+        assert np.abs((S @ c.ravel()).real.reshape(p + 1, 2 * p + 2)
+                      - T.inverse(c)).max() < 1e-13
 
 
 class TestRotation:

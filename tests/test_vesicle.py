@@ -71,6 +71,93 @@ class TestSingularSelfInteraction:
         assert np.allclose(u, 2 * op.apply(f1) - op.apply(f2), atol=1e-11)
 
 
+class TestOperatorMatrix:
+    """The assembled dense self-interaction operator vs the seed path."""
+
+    def test_matrix_apply_matches_synthesis_path(self, rng):
+        e = ellipsoid(1.0, 1.2, 0.9, order=8)
+        op = SingularSelfInteraction(e, viscosity=1.7)
+        f = rng.normal(size=(e.grid.nlat, e.grid.nphi, 3))
+        assert np.abs(op.apply(f) - op.apply_reference(f)).max() <= 1e-12
+
+    def test_matrix_reassembled_on_refresh(self, rng):
+        s = sphere(1.0, order=6)
+        op = SingularSelfInteraction(s)
+        f = rng.normal(size=(s.grid.nlat, s.grid.nphi, 3))
+        s.set_positions(1.5 * s.X)
+        op.refresh()
+        assert np.abs(op.apply(f) - op.apply_reference(f)).max() <= 1e-12
+
+    def test_matrix_property_is_the_operator(self, rng):
+        s = sphere(1.1, order=5)
+        op = SingularSelfInteraction(s)
+        f = rng.normal(size=(s.grid.nlat, s.grid.nphi, 3))
+        u = (op.matrix @ f.ravel()).reshape(f.shape)
+        assert np.allclose(u, op.apply(f), atol=1e-14)
+
+
+class TestBatchedNearPipeline:
+    """Batched near evaluation vs per-target evaluation."""
+
+    @pytest.fixture(scope="class")
+    def near_contact(self):
+        from repro.surfaces import biconcave_rbc
+        a = biconcave_rbc(1.0, center=(0.0, 0.0, 0.0), order=8)
+        b = biconcave_rbc(1.0, center=(2.25, 0.0, 0.1), order=8)
+        rng = np.random.default_rng(7)
+        den = rng.normal(size=(a.grid.nlat, a.grid.nphi, 3))
+        return a, b, den, CellNearEvaluator(a)
+
+    def test_batch_matches_per_target(self, near_contact):
+        a, b, den, ev = near_contact
+        targets = b.points
+        batched = ev.evaluate(den, targets)
+        singles = np.stack([ev.evaluate(den, t[None])[0] for t in targets])
+        assert np.abs(batched - singles).max() < 1e-12
+
+    def test_near_targets_detected(self, near_contact):
+        a, b, den, ev = near_contact
+        near = ev.near_target_indices(b.points)
+        assert near.size > 0
+        dmin = np.array([np.linalg.norm(ev._fine.points - t, axis=1).min()
+                         for t in b.points])
+        assert np.array_equal(near, np.nonzero(dmin < ev.near_distance)[0])
+
+    def test_near_value_matches_manual_scheme(self, near_contact):
+        # Reconstruct one near target's value from the public pieces:
+        # closest point + singular on-surface value + check points +
+        # barycentric interpolation (the seed per-target algorithm).
+        from repro.quadrature.interpolation import (barycentric_matrix,
+                                                    barycentric_weights)
+        a, b, den, ev = near_contact
+        t = b.points[ev.near_target_indices(b.points)[0]]
+        th, ph, y, d = ev.closest_point(t)
+        n = ev._surface_normal_at(th, ph)
+        sgn = float(np.sign((t - y) @ n)) or 1.0
+        ts = np.concatenate(
+            [[0.0], sgn * (ev.near_distance + ev.h * np.arange(ev.check_order))])
+        vals = np.empty((ts.size, 3))
+        vals[0] = ev.on_surface_velocity(th, ph, den)
+        checks = y[None, :] + ts[1:, None] * n[None, :]
+        fw = ev.weighted_fine_density(den)
+        vals[1:] = stokes_slp_apply(ev._fine.points, fw.reshape(-1, 3),
+                                    checks, ev.viscosity)
+        M = barycentric_matrix(ts, np.array([sgn * d]),
+                               barycentric_weights(ts))
+        expect = (M @ vals).ravel()
+        got = ev.evaluate(den, t[None])[0]
+        assert np.abs(got - expect).max() < 1e-10
+
+    def test_batched_closest_points(self, near_contact):
+        a, b, den, ev = near_contact
+        targets = b.points[::11]
+        th, ph, y, d = ev.closest_points(targets)
+        for k, t in enumerate(targets):
+            th1, ph1, y1, d1 = ev.closest_point(t)
+            assert abs(d[k] - d1) < 1e-10
+            assert np.allclose(y[k], y1, atol=1e-8)
+
+
 class TestCellNearEvaluator:
     @pytest.fixture(scope="class")
     def setup(self):
