@@ -4,23 +4,38 @@ This is the perf-trajectory benchmark: it times full `Simulation.step`
 calls on the standard 6-cell order-8 free-space `DirectBackend` scene
 (bending + tension + gravity, collisions on) and writes ``BENCH_step.json``
 with the measured ms/step, the :class:`ComponentTimers` per-category
-breakdown, and the recorded baseline from the previous PR so speedups are
+breakdown — including the ``Tension`` / ``Implicit`` per-cell solve
+categories — and the recorded baselines from earlier PRs so speedups are
 visible across the repo history.
 
-Run:  PYTHONPATH=src python benchmarks/bench_step_breakdown.py
-      [--steps N] [--reduced] [--out PATH]
+Each scene is run twice: at the default numerics (exact per-step operator
+reassembly, ``selfop_refresh_interval=1``) and at the amortized profile
+(``selfop_refresh_interval=4``: full reassembly of the singular self-op
+and of the factorized tension/implicit operators every 4th step, the
+first-order geometric correction in between). The amortized row reports
+the max trajectory deviation against the default run over the same steps
+so the speed/accuracy trade is recorded next to the timing.
 
-``--reduced`` runs a 2-cell order-6 variant for CI smoke runs.
+Run:  PYTHONPATH=src python benchmarks/bench_step_breakdown.py
+      [--steps N] [--reduced | --all] [--out PATH]
+      [--check-against BASELINE.json]
+
+``--reduced`` runs a 2-cell order-6 variant for CI smoke runs; ``--all``
+runs both variants into one file (the committed-baseline format).
+``--check-against`` compares the default-config ms/step of the matching
+scene against a previously committed ``BENCH_step.json`` and exits
+nonzero on a regression beyond ``REGRESSION_TOLERANCE``.
 """
 from __future__ import annotations
 
 import argparse
 import json
+import sys
 import time
 
 import numpy as np
 
-from repro.config import ReproConfig
+from repro.config import NumericsOptions, ReproConfig
 from repro.core.simulation import Simulation
 from repro.physics.terms import Bending, Gravity, Tension
 from repro.surfaces import biconcave_rbc
@@ -30,17 +45,33 @@ from repro.surfaces import biconcave_rbc
 #: intact) on PR 1's benchmark host.
 PR1_BASELINE_MS = 406.0
 
-#: The same PR 1 code measured on the PR 2 container (5 steps) — the
-#: like-for-like "before" of the PR 2 operator-precomputation work, with
-#: its per-component breakdown.
-BEFORE = {
+#: The PR 1 code measured on the PR 2 container (5 steps) — the
+#: like-for-like "before" of the PR 2 operator-precomputation work.
+PR2_BEFORE = {
     "ms_per_step": 2384.7,
     "breakdown_ms_per_step": {"COL": 83.0, "BIE-solve": 0.0, "BIE-FMM": 0.0,
                               "Other-FMM": 300.9, "Other": 2000.5},
 }
 
+#: The PR 2 code measured on the PR 3 container (5 steps) — the
+#: like-for-like "before" of the PR 3 direct-solve / amortized-refresh
+#: work, with its per-component breakdown.
+BEFORE = {
+    "ms_per_step": 396.4,
+    "breakdown_ms_per_step": {"COL": 30.3, "BIE-solve": 0.0, "BIE-FMM": 0.0,
+                              "Other-FMM": 91.2, "Other": 274.8},
+}
 
-def build_scene(order: int = 8, ncells: int = 6) -> Simulation:
+#: --check-against fails when ms/step exceeds the committed baseline by
+#: more than this factor.
+REGRESSION_TOLERANCE = 1.25
+
+#: selfop/factorization refresh interval of the amortized profile.
+AMORTIZED_INTERVAL = 4
+
+
+def build_scene(order: int = 8, ncells: int = 6,
+                selfop_refresh_interval: int = 1) -> Simulation:
     """The reference scene: ``ncells`` RBCs on a close-packed lattice."""
     spacing = 2.4  # equatorial radius 1.0 -> neighbours inside the near zone
     cells = []
@@ -51,34 +82,90 @@ def build_scene(order: int = 8, ncells: int = 6) -> Simulation:
     cfg = ReproConfig(dt=0.05, viscosity=1.0,
                       forces=[Bending(0.01), Tension(),
                               Gravity(0.5, (0.0, 0.0, -1.0))],
-                      backend="direct", with_collisions=True)
+                      backend="direct", with_collisions=True,
+                      numerics=NumericsOptions(
+                          selfop_refresh_interval=selfop_refresh_interval))
     return Simulation(cells, config=cfg)
 
 
-def run(steps: int, reduced: bool, out_path: str) -> dict:
-    order, ncells = (6, 2) if reduced else (8, 6)
-    sim = build_scene(order=order, ncells=ncells)
+def _timed_run(order: int, ncells: int, steps: int, interval: int):
+    sim = build_scene(order=order, ncells=ncells,
+                      selfop_refresh_interval=interval)
     t0 = time.perf_counter()
     sim.run(steps)
     elapsed = time.perf_counter() - t0
-    ms_per_step = 1e3 * elapsed / steps
-    breakdown = {k: 1e3 * v / steps
+    breakdown = {k: round(1e3 * v / steps, 2)
                  for k, v in sim.timers.breakdown().items()}
-    result = {
+    return sim, round(1e3 * elapsed / steps, 2), breakdown
+
+
+def run_scene(steps: int, reduced: bool) -> dict:
+    order, ncells = (6, 2) if reduced else (8, 6)
+    sim, ms, breakdown = _timed_run(order, ncells, steps, 1)
+    sim_a, ms_a, breakdown_a = _timed_run(order, ncells, steps,
+                                          AMORTIZED_INTERVAL)
+    deviation = max(float(np.abs(a.X - b.X).max())
+                    for a, b in zip(sim.cells, sim_a.cells))
+    return {
         "scene": {"order": order, "ncells": ncells, "backend": "direct",
                   "steps": steps, "reduced": reduced},
-        "pr1_baseline_ms_per_step": PR1_BASELINE_MS,
-        "before": None if reduced else BEFORE,
-        "ms_per_step": round(ms_per_step, 2),
-        "speedup_vs_before": (round(BEFORE["ms_per_step"] / ms_per_step, 2)
-                              if not reduced else None),
-        "breakdown_ms_per_step": {k: round(v, 2)
-                                  for k, v in breakdown.items()},
+        "ms_per_step": ms,
+        "breakdown_ms_per_step": breakdown,
+        "amortized": {
+            "selfop_refresh_interval": AMORTIZED_INTERVAL,
+            "ms_per_step": ms_a,
+            "breakdown_ms_per_step": breakdown_a,
+            "max_traj_deviation_vs_default": deviation,
+        },
         "final_centroids": [c.centroid().tolist() for c in sim.cells],
     }
+
+
+def run(steps: int, variants: list[bool], out_path: str) -> dict:
+    result = {
+        "pr1_baseline_ms_per_step": PR1_BASELINE_MS,
+        "pr2_before": PR2_BEFORE,
+        "before": BEFORE,
+        "runs": {},
+    }
+    for reduced in variants:
+        key = "reduced" if reduced else "full"
+        result["runs"][key] = run_scene(steps, reduced)
+    full = result["runs"].get("full")
+    if full is not None:
+        result["speedup_vs_before_default"] = round(
+            BEFORE["ms_per_step"] / full["ms_per_step"], 2)
+        result["speedup_vs_before_amortized"] = round(
+            BEFORE["ms_per_step"] / full["amortized"]["ms_per_step"], 2)
     with open(out_path, "w") as fh:
         json.dump(result, fh, indent=2)
     return result
+
+
+def check_against(result: dict, baseline_path: str,
+                  tolerance: float = REGRESSION_TOLERANCE) -> int:
+    """Regression gate: compare each run against the committed baseline.
+
+    The committed numbers are host-specific, so the gate is only
+    meaningful on hosts comparable to the one that wrote the baseline;
+    ``tolerance`` (``--tolerance``) is the knob for noisier runners.
+    """
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    failures = []
+    for key, run_ in result["runs"].items():
+        base = baseline.get("runs", {}).get(key)
+        if base is None:
+            print(f"[check] no baseline for scene {key!r}; skipping")
+            continue
+        limit = tolerance * base["ms_per_step"]
+        ok = run_["ms_per_step"] <= limit
+        print(f"[check] {key}: {run_['ms_per_step']:.1f} ms/step vs "
+              f"baseline {base['ms_per_step']:.1f} (limit {limit:.1f}) "
+              f"{'OK' if ok else 'REGRESSION'}")
+        if not ok:
+            failures.append(key)
+    return 1 if failures else 0
 
 
 def main() -> None:
@@ -86,14 +173,28 @@ def main() -> None:
     ap.add_argument("--steps", type=int, default=5)
     ap.add_argument("--reduced", action="store_true",
                     help="2-cell order-6 smoke variant (CI)")
+    ap.add_argument("--all", action="store_true",
+                    help="run both variants (committed-baseline format)")
     ap.add_argument("--out", default="BENCH_step.json")
+    ap.add_argument("--check-against", default=None, metavar="BASELINE",
+                    help="fail if ms/step regresses beyond --tolerance x "
+                         "this BENCH_step.json")
+    ap.add_argument("--tolerance", type=float, default=REGRESSION_TOLERANCE,
+                    help="regression-gate factor (default %(default)s)")
     args = ap.parse_args()
-    result = run(args.steps, args.reduced, args.out)
+    variants = [False, True] if args.all else [args.reduced]
+    result = run(args.steps, variants, args.out)
     print(json.dumps(result, indent=2))
-    if not args.reduced:
-        print(f"\n{result['ms_per_step']:.0f} ms/step "
-              f"(before: {BEFORE['ms_per_step']:.0f} ms/step on this host, "
-              f"{result['speedup_vs_before']:.1f}x)")
+    full = result["runs"].get("full")
+    if full is not None:
+        print(f"\ndefault {full['ms_per_step']:.0f} ms/step, amortized "
+              f"(k={AMORTIZED_INTERVAL}) "
+              f"{full['amortized']['ms_per_step']:.0f} ms/step "
+              f"(PR 2 code on this host: {BEFORE['ms_per_step']:.0f}; "
+              f"{result['speedup_vs_before_default']:.2f}x / "
+              f"{result['speedup_vs_before_amortized']:.2f}x)")
+    if args.check_against:
+        sys.exit(check_against(result, args.check_against, args.tolerance))
 
 
 if __name__ == "__main__":

@@ -34,6 +34,21 @@ def main() -> None:
     assert ReproConfig.from_json(cfg.to_json()) == cfg  # archivable
     sim = Scenario.builder().config(cfg).cell(cell).build()
 
+    # The per-cell solves (tension Schur complement, implicit bending)
+    # are direct by default: the operators are assembled as dense
+    # matrices and LU-factorized once per refresh, with the matrix-free
+    # GMRES paths kept behind cfg.numerics.direct_tension /
+    # direct_implicit. Setting cfg.numerics.selfop_refresh_interval = k
+    # reassembles the singular self-interaction operator (and those
+    # factorizations) only every k-th step, applying a first-order
+    # geometric correction in between — about 2x faster stepping at
+    # ~1e-5 trajectory deviation on the benchmark scene; k = 1 (the
+    # default) reproduces the exact per-step path.
+    n = cfg.numerics
+    print(f"direct solves  : tension={n.direct_tension} "
+          f"implicit={n.direct_implicit} "
+          f"selfop_refresh_interval={n.selfop_refresh_interval}")
+
     kappa = cfg.bending_modulus
     print("\n=== bending relaxation ===")
     print(f"{'step':>4} {'t':>6} {'energy':>12} {'area':>10} {'volume':>10}")

@@ -51,12 +51,43 @@ class NCPSolver:
                  options: Optional[NumericsOptions] = None,
                  collision_order: Optional[int] = None,
                  contact_eps: Optional[float] = None,
-                 volume_tol_factor: float = 1e-3):
+                 volume_tol_factor: float = 1e-3,
+                 mesh_cache_size: int = 4):
         self.boundary_meshes = list(boundary_meshes)
         self.options = options or NumericsOptions()
         self.collision_order = collision_order
         self.contact_eps = contact_eps
         self.volume_tol_factor = volume_tol_factor
+        # Per-cell collision meshes keyed by the exact positions they were
+        # built from (see _cell_mesh): rebuilding a SpectralSurface + full
+        # fine-grid geometry per projection iteration was a measurable
+        # per-step cost even without contacts, and within the LCP loop
+        # only the cells actually touched by contact forces move.
+        self.mesh_cache_size = int(mesh_cache_size)
+        self._mesh_cache: list[dict[bytes, CollisionMesh]] = []
+
+    # -- mesh caching ----------------------------------------------------------
+    def _cell_mesh(self, i: int, cell: SpectralSurface,
+                   positions: np.ndarray, pc: int) -> CollisionMesh:
+        """Collision mesh of cell ``i`` at ``positions``, cached.
+
+        A tiny per-cell LRU keyed by the raw position bytes: across a
+        projection this hits for every cell the LCP loop did not move,
+        and across steps the accepted candidate mesh of step ``n`` is
+        reused as the "current" mesh of step ``n + 1``.
+        """
+        while len(self._mesh_cache) <= i:
+            self._mesh_cache.append({})
+        cache = self._mesh_cache[i]
+        key = positions.tobytes()
+        mesh = cache.pop(key, None)
+        if mesh is None:
+            tmp = SpectralSurface(positions, cell.order)
+            mesh = cell_collision_mesh(tmp, object_id=i, collision_order=pc)
+            if len(cache) >= self.mesh_cache_size:
+                cache.pop(next(iter(cache)))
+        cache[key] = mesh  # (re)insert most-recently-used last
+        return mesh
 
     # -- grid transfer helpers -------------------------------------------------
     @staticmethod
@@ -109,11 +140,8 @@ class NCPSolver:
         nlat_c, nphi_c = Tc.grid.nlat, Tc.grid.nphi
 
         def build_meshes(positions):
-            meshes = []
-            for i, (cell, pos) in enumerate(zip(cells, positions)):
-                tmp = SpectralSurface(pos, cell.order)
-                meshes.append(cell_collision_mesh(tmp, object_id=i,
-                                                  collision_order=pc))
+            meshes = [self._cell_mesh(i, cell, np.asarray(pos, float), pc)
+                      for i, (cell, pos) in enumerate(zip(cells, positions))]
             for bm in self.boundary_meshes:
                 meshes.append(dataclasses.replace(
                     bm, object_id=ncell + (bm.object_id)))

@@ -78,6 +78,22 @@ class NumericsOptions:
     gmres_tol: float = GMRES_TOL
     ncp_max_lcp: int = NCP_MAX_LCP
     viscosity: float = DEFAULT_VISCOSITY
+    #: Full singular self-interaction reassembly every ``k`` refreshes; the
+    #: intermediate ``k - 1`` refreshes apply a first-order geometric
+    #: correction (exact for rigid translation and uniform dilation) to the
+    #: last assembled operator. ``1`` (the default) reassembles every step,
+    #: i.e. the exact per-step behavior.
+    selfop_refresh_interval: int = 1
+    #: Solve the tension Schur complement with a per-refresh LU
+    #: factorization of the assembled dense operator (one back-substitution
+    #: per solve) instead of the inner GMRES loop. The two paths agree to
+    #: solver tolerance; set ``False`` to force the matrix-free path.
+    direct_tension: bool = True
+    #: Factorize the implicit operator ``I - dt S L`` per (cell, dt) and
+    #: back-substitute instead of running the implicit GMRES. Falls back to
+    #: GMRES automatically when ``dt`` changes between a cell's
+    #: factorization and its solve (mid-run adaptive stepping).
+    direct_implicit: bool = True
 
     def fine_subpatches(self) -> int:
         """Number of subpatches in the fine discretization of one patch."""
@@ -165,6 +181,9 @@ class ReproConfig:
                 errors.append("gmres_tol must be positive")
             if n.ncp_max_lcp < 1:
                 errors.append("ncp_max_lcp must be >= 1")
+            if n.selfop_refresh_interval < 1:
+                errors.append("selfop_refresh_interval must be >= 1, got "
+                              f"{n.selfop_refresh_interval}")
         if errors:
             raise ValueError("invalid ReproConfig: " + "; ".join(errors))
 

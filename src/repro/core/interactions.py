@@ -238,18 +238,21 @@ class TreecodeBackend(InteractionBackend):
                 mac=self.mac)
             for j in range(len(self.cells))]
 
+    def _near_cutoffs(self) -> np.ndarray:
+        """Per-source near-zone radius (bounding sphere + near distance)."""
+        return self._radii + self.near_safety * np.array(
+            [ev.near_distance for ev in self.evaluators])
+
     def _near_mask(self, j: int, targets: np.ndarray) -> np.ndarray:
         """Targets that may fall in source cell j's near-evaluation zone."""
         d = np.linalg.norm(targets - self._centers[j], axis=1)
-        cutoff = (self._radii[j]
-                  + self.near_safety * self.evaluators[j].near_distance)
-        return d < cutoff
+        return d < self._near_cutoffs()[j]
 
-    def _source_velocity(self, j: int, targets: np.ndarray) -> np.ndarray:
-        """Cell j's single-layer velocity at targets: near-aware where
-        needed, treecode elsewhere."""
+    def _masked_velocity(self, j: int, targets: np.ndarray,
+                         mask: np.ndarray) -> np.ndarray:
+        """Cell j's velocity at targets, near pairs (``mask``) through the
+        near-singular evaluator, the rest through the tree."""
         out = np.empty((targets.shape[0], 3))
-        mask = self._near_mask(j, targets)
         if mask.any():
             out[mask] = self.evaluators[j].evaluate(
                 self._forces[j], targets[mask],
@@ -257,3 +260,44 @@ class TreecodeBackend(InteractionBackend):
         if (~mask).any():
             out[~mask] = self._trees[j].evaluate(targets[~mask])
         return out
+
+    def _source_velocity(self, j: int, targets: np.ndarray) -> np.ndarray:
+        """Cell j's single-layer velocity at targets: near-aware where
+        needed, treecode elsewhere."""
+        return self._masked_velocity(j, targets, self._near_mask(j, targets))
+
+    def cell_cell(self) -> List[np.ndarray]:
+        """Near-pair-batched specialization of the all-pairs sum.
+
+        All cells' points are stacked once and the near masks of *every*
+        source are computed in a single vectorized distance pass against
+        the stacked cloud (one (n_points_total, ncell) sweep instead of
+        one mask evaluation per source call); each source then runs one
+        near-evaluator batch and one treecode batch over its gathered
+        targets, exactly like :meth:`DirectBackend.cell_cell` stacks
+        target cells.
+        """
+        self._require_prepared()
+        cells = self.cells
+        ncell = len(cells)
+        if ncell <= 1:
+            return [np.zeros((c.n_points, 3)) for c in cells]
+        counts = [c.n_points for c in cells]
+        offsets = np.concatenate([[0], np.cumsum(counts)])
+        allpts = np.concatenate([c.points for c in cells])
+        # (ntot, ncell) near classification in one pass.
+        d = np.linalg.norm(allpts[:, None, :] - self._centers[None, :, :],
+                           axis=2)
+        near = d < self._near_cutoffs()[None, :]
+        b = [np.zeros((n, 3)) for n in counts]
+        for j in range(ncell):
+            keep = np.ones(allpts.shape[0], dtype=bool)
+            keep[offsets[j]:offsets[j + 1]] = False   # skip self targets
+            vals = self._masked_velocity(j, allpts[keep], near[keep, j])
+            at = 0
+            for i in range(ncell):
+                if i == j:
+                    continue
+                b[i] += vals[at:at + counts[i]]
+                at += counts[i]
+        return b

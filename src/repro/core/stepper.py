@@ -26,8 +26,9 @@ from typing import Callable, List, Optional, Sequence
 import numpy as np
 
 from ..config import NumericsOptions
-from ..linalg import gmres
+from ..linalg import LUFactorization, gmres
 from ..physics import linearized_bending_apply
+from ..physics.bending import linearized_bending_factors
 from ..physics.tension import TensionSolver
 from ..physics.terms import (BackgroundFlow, Bending, CellState, ForceTerm,
                              Gravity, Tension)
@@ -123,22 +124,59 @@ class TimeStepper:
                 "simulation")
 
         self._self_ops: list[SingularSelfInteraction] = [
-            SingularSelfInteraction(c, viscosity=self.viscosity)
+            SingularSelfInteraction(
+                c, viscosity=self.viscosity,
+                refresh_interval=self.options.selfop_refresh_interval)
             for c in self.cells]
         self.sigmas: list[np.ndarray] = [
             np.zeros((c.grid.nlat, c.grid.nphi)) for c in self.cells]
+        # Per-cell direct-solve state, rebuilt lazily after each refresh:
+        # the factorized tension Schur complement and the factorized
+        # implicit operator I - dt S L (keyed by the dt it was built for).
+        self._tension_solvers: list[Optional[TensionSolver]] = \
+            [None] * len(self.cells)
+        #: per cell: (dt, LU of I - dt S L, bending core, normals) or None.
+        self._impl_lu: list[Optional[tuple]] = [None] * len(self.cells)
 
     # -- cached-state maintenance -----------------------------------------
     def refresh_cell(self, i: int) -> None:
         """Rebuild the cached operators of cell ``i`` after it moved.
 
-        Covers the singular self-interaction tables and the interaction
-        backend's near evaluator; call after any out-of-band position
-        change (the recycler, external steering, ...).
+        Covers the singular self-interaction tables (a forced full
+        reassembly — out-of-band changes like recycling are too large for
+        the amortized first-order correction), the interaction backend's
+        near evaluator, and the factorized per-cell solve operators; call
+        after any out-of-band position change (the recycler, external
+        steering, ...).
         """
-        self._self_ops[i].refresh()
+        self._self_ops[i].refresh(full=True)
+        self._invalidate_cell(i)
+
+    def _refresh_after_step(self, i: int) -> None:
+        """Per-step refresh of cell ``i``: the self-interaction follows
+        the ``selfop_refresh_interval`` amortization policy.
+
+        The factorized tension Schur and implicit operators are rebuilt
+        only on the interval's *full* reassemblies (the "factorize once
+        per refresh, reuse across solves" amortization): on intermediate
+        steps they stay frozen at the reference geometry — consistent
+        with the first-order-corrected self-interaction they were built
+        from — while everything explicit (forces, near-singular
+        inter-cell terms, collision meshes) tracks the true geometry.
+        With the default interval of 1 every step is a full rebuild.
+        """
+        was_full = self._self_ops[i].refresh()
         self.backend.refresh(i)
         self._f_ext[i] = None
+        if was_full:
+            self._tension_solvers[i] = None
+            self._impl_lu[i] = None
+
+    def _invalidate_cell(self, i: int) -> None:
+        self.backend.refresh(i)
+        self._f_ext[i] = None
+        self._tension_solvers[i] = None
+        self._impl_lu[i] = None
 
     # -- forces -----------------------------------------------------------
     def _cell_state(self, i: int) -> CellState:
@@ -245,33 +283,82 @@ class TimeStepper:
         (bending, gravity, user terms) through the self-interaction, so
         the computed tension is consistent with the forcing actually
         applied.
+
+        With ``options.direct_tension`` (the default) the per-cell Schur
+        complement is assembled and LU-factorized on first use after each
+        refresh and the solve is a direct back-substitution; otherwise
+        the matrix-free GMRES path runs.
         """
         for i, cell in enumerate(self.cells):
             op = self._self_ops[i]
             u_bg = b[i] + op.apply(
                 self.interfacial_force(i, include_tension=False))
-            solver = TensionSolver(cell, op.apply)
+            solver = self._tension_solvers[i]
+            if solver is None:
+                solver = TensionSolver(
+                    cell, op.apply,
+                    self_matrix=(op.matrix if self.options.direct_tension
+                                 else None))
+                self._tension_solvers[i] = solver
             sigma, _ = solver.solve(u_bg)
             self.sigmas[i] = sigma
 
     # -- implicit update ----------------------------------------------------------
     def _implicit_update(self, i: int, b: np.ndarray, dt: float
                          ) -> tuple[np.ndarray, int]:
-        """Solve X+ = X + dt (b + S_i f_i(X+)) with linearized bending."""
+        """Solve X+ = X + dt (b + S_i f_i(X+)) with linearized bending.
+
+        With ``options.direct_implicit`` (the default) the dense operator
+        ``I - dt S L`` is assembled and LU-factorized per (cell, dt) on
+        first use after each refresh, and the update is a single
+        back-substitution (0 reported iterations). If ``dt`` differs from
+        the factorization already cached for this geometry — adaptive
+        stepping mid-run — the solve falls back to GMRES rather than
+        thrashing refactorizations.
+        """
         cell = self.cells[i]
         op = self._self_ops[i]
         shape = cell.X.shape
         f_now = self.interfacial_force(i)
 
-        def L(dX_flat: np.ndarray) -> np.ndarray:
+        if self.options.direct_implicit:
+            cached = self._impl_lu[i]
+            if cached is None:
+                # L factors as Nout core Nin (project on the normal, apply
+                # (-kappa/2) LB^2, scatter along the normal), so S L is the
+                # rank-N product (S Nout) core Nin — assembled with one
+                # (3N, N) contraction and an outer scatter instead of a
+                # dense (3N, 3N) x (3N, 3N) GEMM, and the full L matrix is
+                # never formed (linearized_bending_matrix builds the dense
+                # reference from the same factors).
+                core, nrm = linearized_bending_factors(cell, self.kappa)
+                n = cell.grid.n_points
+                S_nout = np.einsum("rmj,mj->rm",
+                                   op.matrix.reshape(3 * n, n, 3), nrm)
+                P = S_nout @ core                     # (3N, N)
+                A = (-dt) * (P[:, :, None]
+                             * nrm[None, :, :]).reshape(3 * n, 3 * n)
+                A[np.diag_indices_from(A)] += 1.0
+                cached = (dt, LUFactorization(A), core, nrm)
+                self._impl_lu[i] = cached
+            if cached[0] == dt:
+                _, lu, core, nrm = cached
+                w = np.einsum("mj,mj->m", cell.points, nrm)
+                LX = ((core @ w)[:, None] * nrm).reshape(shape)
+                rhs = (cell.X + dt * (b.reshape(shape)
+                                      + op.apply(f_now - LX))).ravel()
+                return lu.solve(rhs).reshape(shape), 0
+
+        def L_apply(dX_flat: np.ndarray) -> np.ndarray:
             dX = dX_flat.reshape(shape)
             return linearized_bending_apply(cell, dX, self.kappa)
 
         def matvec(y: np.ndarray) -> np.ndarray:
             Y = y.reshape(shape)
-            return (Y - dt * op.apply(L(y))).ravel()
+            return (Y - dt * op.apply(L_apply(y))).ravel()
 
-        rhs = (cell.X + dt * (b + op.apply(f_now - L(cell.X.ravel())))).ravel()
+        rhs = (cell.X + dt * (b + op.apply(f_now
+                                           - L_apply(cell.X.ravel())))).ravel()
         res = gmres(matvec, rhs, x0=cell.X.ravel(),
                     tol=self.implicit_tol, max_iter=self.implicit_max_iter)
         return res.x.reshape(shape), res.iterations
@@ -281,14 +368,16 @@ class TimeStepper:
         with self.timers.scope("Other"):
             b, bie_iters = self._explicit_velocities()
             if self.with_tension:
-                self._update_tensions(b)  # tensions folded via forces
+                with self.timers.scope("Tension"):
+                    self._update_tensions(b)  # tensions folded via forces
 
             candidates = []
             impl_iters = []
-            for i in range(len(self.cells)):
-                Xp, iters = self._implicit_update(i, b[i], dt)
-                candidates.append(Xp)
-                impl_iters.append(iters)
+            with self.timers.scope("Implicit"):
+                for i in range(len(self.cells)):
+                    Xp, iters = self._implicit_update(i, b[i], dt)
+                    candidates.append(Xp)
+                    impl_iters.append(iters)
 
         ncp_report = None
         if self.ncp is not None:
@@ -302,7 +391,7 @@ class TimeStepper:
         with self.timers.scope("Other"):
             for i, cell in enumerate(self.cells):
                 cell.set_positions(newpos[i])
-                self.refresh_cell(i)
+                self._refresh_after_step(i)
         return StepReport(t=t, dt=dt, bie_iterations=bie_iters,
                           implicit_iterations=impl_iters, ncp=ncp_report,
                           recycled=[])

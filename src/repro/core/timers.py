@@ -2,7 +2,11 @@
 
 Paper Sec. 5.2 decomposes time into COL (collision detection/resolution),
 BIE-solve (computing u_Gamma excluding FMM calls), BIE-FMM (FMM calls for
-u_Gamma), Other-FMM (FMM calls of other algorithms) and Other.
+u_Gamma), Other-FMM (FMM calls of other algorithms) and Other. Two finer
+categories split the per-cell solves out of Other: Tension (the
+inextensibility Schur solve) and Implicit (the locally-implicit position
+update), so the benchmark can track the direct-vs-iterative solver work
+separately.
 """
 from __future__ import annotations
 
@@ -10,7 +14,8 @@ import contextlib
 import time
 from collections import defaultdict
 
-CATEGORIES = ("COL", "BIE-solve", "BIE-FMM", "Other-FMM", "Other")
+CATEGORIES = ("COL", "BIE-solve", "BIE-FMM", "Other-FMM", "Tension",
+              "Implicit", "Other")
 
 
 class ComponentTimers:

@@ -6,5 +6,7 @@ Section 5.1 of the paper, plus small helpers for block vector layouts.
 """
 from .gmres import GMRESResult, gmres
 from .blocks import flatten_fields, unflatten_fields
+from .dense import LUFactorization
 
-__all__ = ["gmres", "GMRESResult", "flatten_fields", "unflatten_fields"]
+__all__ = ["gmres", "GMRESResult", "flatten_fields", "unflatten_fields",
+           "LUFactorization"]

@@ -1,0 +1,41 @@
+"""Dense LU factorizations for the per-cell direct solves.
+
+The tension Schur complement and the implicit bending operator are small
+dense matrices (N and 3N per cell); factorizing them once per refresh and
+back-substituting per solve replaces the inner GMRES loops entirely. SciPy's
+LAPACK-backed ``lu_factor``/``lu_solve`` is used when available; the numpy
+fallback solves against the stored matrix directly (same results, no reuse
+of the factorization across solves).
+"""
+from __future__ import annotations
+
+import numpy as np
+
+try:
+    from scipy.linalg import lu_factor as _lu_factor, lu_solve as _lu_solve
+except ImportError:  # pragma: no cover - scipy is a standard dependency
+    _lu_factor = None
+    _lu_solve = None
+
+
+class LUFactorization:
+    """LU factorization of a square dense operator, reusable across solves."""
+
+    def __init__(self, matrix: np.ndarray):
+        matrix = np.asarray(matrix, float)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValueError(f"expected a square matrix, got {matrix.shape}")
+        self.shape = matrix.shape
+        if _lu_factor is not None:
+            self._lu = _lu_factor(matrix)
+            self._matrix = None
+        else:
+            self._lu = None
+            self._matrix = matrix.copy()
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve ``A x = rhs`` (1-D or stacked columns)."""
+        rhs = np.asarray(rhs, float)
+        if self._lu is not None:
+            return _lu_solve(self._lu, rhs)
+        return np.linalg.solve(self._matrix, rhs)

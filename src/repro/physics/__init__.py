@@ -6,8 +6,9 @@ interfacial force is ``f = f_b + f_sigma`` (plus the artificial collision
 force ``f_c`` from :mod:`repro.collision` and, for the sedimentation
 experiment of Fig. 7, a gravitational traction jump).
 """
-from .bending import bending_force, bending_energy, linearized_bending_apply
-from .tension import tension_force, TensionSolver
+from .bending import (bending_force, bending_energy,
+                      linearized_bending_apply, linearized_bending_matrix)
+from .tension import tension_force, tension_operator_matrix, TensionSolver
 from .gravity import gravity_force
 from .terms import (FORCE_TERMS, BackgroundFlow, Bending, CellState,
                     ForceTerm, Gravity, ShearFlow, Tension,
@@ -17,7 +18,9 @@ __all__ = [
     "bending_force",
     "bending_energy",
     "linearized_bending_apply",
+    "linearized_bending_matrix",
     "tension_force",
+    "tension_operator_matrix",
     "TensionSolver",
     "gravity_force",
     "ForceTerm",

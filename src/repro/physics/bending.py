@@ -57,3 +57,40 @@ def linearized_bending_apply(surface: SpectralSurface, dX: np.ndarray,
     dH = 0.5 * surface.laplace_beltrami(w)
     scalar = -kappa * surface.laplace_beltrami(dH)
     return scalar[..., None] * g.normal
+
+
+def linearized_bending_factors(surface: SpectralSurface, kappa: float = 1.0
+                               ) -> tuple[np.ndarray, np.ndarray]:
+    """The rank-N factorization ``L = Nout core Nin`` of the linearized
+    bending operator: ``core`` is the dense (N, N) scalar map
+    ``(-kappa/2) Delta_Gamma^2`` and the (N, 3) ``normal`` array defines
+    both projections. Shared by the dense matrix below and the
+    factorized implicit assembly in the stepper, so the two stay the
+    same operator by construction.
+    """
+    g = surface.geometry()
+    n = surface.grid.n_points
+    lb = surface.laplace_beltrami_matrix()
+    return (-0.5 * kappa) * (lb @ lb), g.normal.reshape(n, 3)
+
+
+def linearized_bending_matrix(surface: SpectralSurface,
+                              kappa: float = 1.0) -> np.ndarray:
+    """Dense (3N, 3N) matrix of :func:`linearized_bending_apply`.
+
+    At frozen geometry the linearization is the composition
+    ``(. n) -> (-kappa/2) Delta_Gamma^2 -> (. n)`` of dense operators, so
+    the implicit system ``I - dt S L`` of the locally-implicit step is an
+    assemblable, factorizable matrix (see
+    :meth:`repro.core.stepper.TimeStepper`).
+    """
+    core, normal = linearized_bending_factors(surface, kappa)
+    n = normal.shape[0]
+    # Sandwich between the normal projections: rows/cols interleave the
+    # three components in grid-field ravel order.
+    L = np.empty((3 * n, 3 * n))
+    for k in range(3):
+        row = normal[:, k, None] * core                    # (N, N)
+        for j in range(3):
+            L[k::3, j::3] = row * normal[None, :, j]
+    return L

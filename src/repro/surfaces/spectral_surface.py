@@ -81,6 +81,22 @@ def _grid_operator_matrices(p: int, q: int) -> dict:
     }
 
 
+@lru_cache(maxsize=8)
+def bandlimit_projector(p: int) -> np.ndarray:
+    """Dense (N, N) projector onto band-limited order-``p`` grid fields.
+
+    The sampling grid has ``(p+1)(2p+2)`` points but band-limited fields
+    span only the ``(p+1)^2`` spherical-harmonic modes, so grid-space
+    operators whose range is band-limited (every operator here ending in
+    a band-limiting synthesis) are rank-deficient by the complement. The
+    projector ``synthesis . analysis`` restricts a direct solve to the
+    subspace the iterative Krylov solvers implicitly work in (their
+    right-hand sides and operator ranges are band-limited).
+    """
+    T = get_transform(p)
+    return (T.synthesis_matrix() @ T.analysis_matrix()).real
+
+
 @dataclasses.dataclass
 class SurfaceGeometry:
     """First/second fundamental forms and derived fields on the grid.
@@ -137,6 +153,7 @@ class SpectralSurface:
         self.aliasing_factor = int(aliasing_factor)
         self._coeffs: Optional[np.ndarray] = None
         self._geom: Optional[SurfaceGeometry] = None
+        self._dense_ops: Optional[dict] = None
 
     # -- basics ------------------------------------------------------------
     @property
@@ -164,6 +181,7 @@ class SpectralSurface:
         self._coeffs = None
         self._geom = None
         self._up_tables = None
+        self._dense_ops = None
 
     def translated(self, shift: np.ndarray) -> "SpectralSurface":
         return SpectralSurface(self.X + np.asarray(shift, float), self.order,
@@ -358,3 +376,82 @@ class SpectralSurface:
         lb_q = (dP + dQ) / g.W
         return (ops["down"] @ lb_q.reshape(-1)).reshape(self.grid.nlat,
                                                         self.grid.nphi)
+
+    # -- dense operators at the current geometry -------------------------------
+    def _dense_operator_tables(self) -> dict:
+        """Assembled dense surface operators at the current configuration.
+
+        Every surface differential operator above is an affine composition
+        of the fixed grid-to-grid matrices of
+        :func:`_grid_operator_matrices` with diagonal scalings by the
+        (geometry-dependent) fundamental forms, so each one *is* a dense
+        matrix at frozen geometry. These feed the per-step direct linear
+        algebra (the tension Schur complement and the factorized implicit
+        bending operator); they are cached until :meth:`set_positions`.
+
+        Keys: ``grad`` maps ``f.ravel()`` (N,) to the gradient field
+        raveled in grid order (3N,); ``div`` maps a raveled vector field
+        (3N,) to the divergence (N,); ``lb`` is the (N, N)
+        Laplace-Beltrami matrix.
+        """
+        if self._dense_ops is not None:
+            return self._dense_ops
+        Tq, g = self._upsampled_tables()
+        ops = self._op_matrices()
+        n = self.grid.n_points
+        nq = Tq.grid.n_points
+        up_t, up_p, down = ops["up_theta"], ops["up_phi"], ops["down"]
+        W2 = (g.W ** 2).ravel()
+        E, F, G = g.E.ravel(), g.F.ravel(), g.G.ravel()
+        Xt = g.X_theta.reshape(nq, 3)
+        Xp = g.X_phi.reshape(nq, 3)
+
+        # gradient: grad_q[.., k] = c1_k * (up_t f) + c2_k * (up_p f) with
+        # c1 = (G Xt - F Xp)/W^2, c2 = (E Xp - F Xt)/W^2, then band-limit.
+        # The divergence uses the *same* reciprocal-basis fields per
+        # component (div v = sum_k e1_k (up_t v_k) + e2_k (up_p v_k) with
+        # e = c), so its three column blocks equal the gradient's three
+        # row blocks; assemble the blocks once with a single stacked GEMM.
+        c1 = (G[:, None] * Xt - F[:, None] * Xp) / W2[:, None]
+        c2 = (E[:, None] * Xp - F[:, None] * Xt) / W2[:, None]
+        stacked = np.concatenate(
+            [c1[:, k, None] * up_t + c2[:, k, None] * up_p
+             for k in range(3)], axis=1)
+        blocks = (down @ stacked).reshape(n, 3, n)
+        grad = np.empty((3 * n, n))
+        div = np.empty((n, 3 * n))
+        for k in range(3):
+            grad[k::3] = blocks[:, k]
+            div[:, k::3] = blocks[:, k]
+
+        # Laplace-Beltrami in divergence form (see laplace_beltrami):
+        # theta-flux through the order-q theta-derivative matrix, phi-flux
+        # through the per-latitude-row FFT derivative matrix.
+        Wq = g.W.ravel()
+        MP = ((G / Wq)[:, None] * up_t - (F / Wq)[:, None] * up_p)
+        MQ = ((E / Wq)[:, None] * up_p - (F / Wq)[:, None] * up_t)
+        dP = ops["theta_q"] @ MP
+        nlat_q, nphi_q = Tq.grid.nlat, Tq.grid.nphi
+        # row-wise d/dphi as a batched GEMM over latitude rows:
+        # dQ[i, l, n] = sum_j dphi_rows[j, l] MQ[i, j, n]
+        dQ = np.matmul(ops["dphi_rows"].T[None, :, :],
+                       MQ.reshape(nlat_q, nphi_q, n)).reshape(nq, n)
+        lb = down @ ((dP + dQ) / Wq[:, None])
+
+        self._dense_ops = {"grad": grad, "div": div, "lb": lb}
+        return self._dense_ops
+
+    def surface_gradient_matrix(self) -> np.ndarray:
+        """Dense (3N, N) operator: scalar grid field -> tangential
+        gradient field, both raveled in grid order (cached per geometry)."""
+        return self._dense_operator_tables()["grad"]
+
+    def surface_divergence_matrix(self) -> np.ndarray:
+        """Dense (N, 3N) operator: raveled vector grid field -> surface
+        divergence (cached per geometry)."""
+        return self._dense_operator_tables()["div"]
+
+    def laplace_beltrami_matrix(self) -> np.ndarray:
+        """Dense (N, N) Laplace-Beltrami operator on scalar grid fields
+        (cached per geometry)."""
+        return self._dense_operator_tables()["lb"]

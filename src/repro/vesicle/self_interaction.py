@@ -126,6 +126,48 @@ class _RotationTables:
         self.B_dth_im = np.ascontiguousarray(self.B_dth.imag)
         self.B_dph_re = np.ascontiguousarray(self.B_dph.real)
         self.B_dph_im = np.ascontiguousarray(self.B_dph.imag)
+        # The three synthesis kinds stacked along the rotated-node axis:
+        # the geometry pass evaluates all of (X, X_theta, X_phi) with one
+        # GEMM pair instead of three.
+        self.B_all_re = np.ascontiguousarray(np.concatenate(
+            [self.B_val_re, self.B_dth_re, self.B_dph_re], axis=1))
+        self.B_all_im = np.ascontiguousarray(np.concatenate(
+            [self.B_val_im, self.B_dth_im, self.B_dph_im], axis=1))
+        self._fused: np.ndarray | None = None
+
+    #: byte budget of the fused (nlat, nphi, nrot, N) composition table;
+    #: 71 MB at order 8, ~240 MB at order 10, prohibitive beyond — higher
+    #: orders fall back to the staged complex-split composition.
+    FUSED_TABLE_BUDGET = 256e6
+
+    def fused_table(self) -> np.ndarray | None:
+        """Per-(row, target) rotated-synthesis -> grid-density table.
+
+        ``D[i, t] = Re(B_val[i] diag(phases[:, t]) A)`` composes the
+        rotated synthesis, the azimuthal phase shift of target ``t`` and
+        the dense forward SHT in one real (nrot, N) block. The assembly
+        contraction against the (real) kernel fields then needs a single
+        real GEMM per target — no complex split, no separate phase and
+        SHT passes. Stored transposed, (nlat, nphi, N, nrot), so the
+        batched GEMM has its long dimension first (measurably faster than
+        the 7-row-skinny orientation). Geometry-independent, shared by
+        every cell of this order pair; built lazily, ``None`` when over
+        budget.
+        """
+        if self._fused is None:
+            from ..sph import get_transform
+            grid = self.grid
+            n = grid.n_points
+            if grid.nlat * grid.nphi * self.nrot * n * 8 > \
+                    self.FUSED_TABLE_BUDGET:
+                return None
+            A = get_transform(self.p).analysis_matrix()[self.packed_rows]
+            D = np.empty((grid.nlat, grid.nphi, n, self.nrot))
+            for t in range(grid.nphi):
+                PA = self.phases[:, t, None] * A           # (ncoef, N)
+                D[:, t] = (self.B_val @ PA).real.transpose(0, 2, 1)
+            self._fused = D
+        return self._fused
 
 
 class SingularSelfInteraction:
@@ -139,59 +181,37 @@ class SingularSelfInteraction:
     """
 
     def __init__(self, surface: SpectralSurface, viscosity: float = 1.0,
-                 upsample: float = 1.5):
+                 upsample: float = 1.5, refresh_interval: int = 1):
         self.surface = surface
         self.viscosity = viscosity
+        if refresh_interval < 1:
+            raise ValueError("refresh_interval must be >= 1, got "
+                             f"{refresh_interval}")
+        self.refresh_interval = int(refresh_interval)
         p = surface.order
         q_rot = max(p, int(np.ceil(upsample * p)))
         self.tables = _RotationTables(p, q_rot)
         # Packed-row forward SHT (geometry-independent), split for the
-        # real-GEMM composition in :meth:`_assemble_matrix`.
+        # real-GEMM composition in :meth:`_assemble_full`.
         A = surface.transform.analysis_matrix()[self.tables.packed_rows]
         self._A_re = np.ascontiguousarray(A.real)
         self._A_im = np.ascontiguousarray(A.imag)
-        self.refresh()
+        self._since_full = 0
+        self.refresh(full=True)
 
-    def _prepare_geometry(self) -> None:
-        """Evaluate surface position and area element at all rotated points.
+    def _assemble_full(self) -> None:
+        """One fused pass: rotated geometry + dense operator assembly.
 
-        These depend on the current configuration; call :meth:`refresh`
-        after the surface moves.
-        """
-        surf = self.surface
-        tb = self.tables
-        grid = surf.grid
-        packed = pack_coeffs(surf.coeffs()).T                  # (ncoef, 3)
-        nlat, nphi = grid.nlat, grid.nphi
-        nrot, ncoef = tb.nrot, tb.ncoef
-        # One synthesis per derivative kind for *all* rows at once, as a
-        # real GEMM pair: Re(B @ C) = Br @ Cr - Bi @ Ci.
-        C = (packed[:, None, :] * tb.phases[:, :, None]).reshape(ncoef,
-                                                                 nphi * 3)
-        Cr = np.ascontiguousarray(C.real)
-        Ci = np.ascontiguousarray(C.imag)
-
-        def synth(B_re, B_im):
-            out = (B_re.reshape(nlat * nrot, ncoef) @ Cr
-                   - B_im.reshape(nlat * nrot, ncoef) @ Ci)
-            return out.reshape(nlat, nrot, nphi, 3).transpose(0, 2, 1, 3)
-
-        Xr = synth(tb.B_val_re, tb.B_val_im)                   # (nlat, nphi, nrot, 3)
-        Xt = synth(tb.B_dth_re, tb.B_dth_im)
-        Xp = synth(tb.B_dph_re, tb.B_dph_im)
-        W = np.linalg.norm(np.cross(Xt, Xp), axis=-1)
-        self.X_rot = Xr
-        self.w_rot = ((W / tb.row_sin_theta_r[:, None, :])
-                      * tb.weights[None, None, :])
-
-    def _assemble_matrix(self) -> None:
-        """Assemble the dense operator ``density.ravel() -> velocity.ravel()``.
-
-        Composition, per target row ``i`` (all ``nphi`` targets at once):
-        kernel-and-weights tensor ``KW`` (target, rotated node, k, j)
-        contracted with the cached rotated synthesis ``B_val[i]`` over the
-        rotated nodes, the azimuthal phases over targets, and the dense
-        forward-SHT matrix over grid nodes. All contractions are GEMMs.
+        The rotated synthesis, the area elements and the kernel
+        contraction all consume the same per-latitude-row intermediates,
+        so they are produced chunk by chunk inside a single loop (the
+        separate ``_prepare_geometry`` / ``_assemble_matrix`` passes used
+        to round-trip the (nlat, nphi, nrot, 3) rotated cloud through
+        memory twice). Per chunk, the Stokeslet contraction exploits the
+        kernel's ``r_k r_j`` symmetry: six symmetric-pair GEMMs plus one
+        trace GEMM against the rotated synthesis replace the dense
+        (nphi*9, nrot) kernel-tensor product, and the (rows, nphi, nrot,
+        3, 3) tensor is never materialized.
         """
         surf = self.surface
         tb = self.tables
@@ -199,27 +219,76 @@ class SingularSelfInteraction:
         nlat, nphi, nrot, ncoef = grid.nlat, grid.nphi, tb.nrot, tb.ncoef
         n = grid.n_points
         scale = 1.0 / (8.0 * np.pi * self.viscosity)
+        packed = pack_coeffs(surf.coeffs()).T                  # (ncoef, 3)
+        C = (packed[:, None, :] * tb.phases[:, :, None]).reshape(ncoef,
+                                                                 nphi * 3)
+        Cr = np.ascontiguousarray(C.real)
+        Ci = np.ascontiguousarray(C.imag)
         ph_r = tb.phases.T.real[None, :, None, :]
         ph_i = tb.phases.T.imag[None, :, None, :]
+        D = tb.fused_table()
+        # Symmetric pairs (k, j) of the r (x) r part of the Stokeslet, and
+        # where each contraction lands in the (3, 3) component block.
+        pairs = ((0, 0), (0, 1), (0, 2), (1, 1), (1, 2), (2, 2))
+        X_rot = np.empty((nlat, nphi, nrot, 3))
+        w_rot = np.empty((nlat, nphi, nrot))
         M = np.empty((nlat, nphi, 3, n, 3))
-        # The (rows, nphi, nrot, 3, 3) kernel tensor scales like O(p^6);
-        # process latitude rows in groups bounded by a flat byte budget so
-        # the transient stays modest at high order.
+        # The (rows, nphi, nrot, 3) transients scale like O(p^5); process
+        # latitude rows in groups bounded by a flat byte budget so the
+        # working set stays cache-resident at high order.
         rows = max(1, int(24e6 // (nphi * nrot * 9 * 8)))
         for a in range(0, nlat, rows):
             sl = slice(a, min(a + rows, nlat))
-            r = surf.X[sl, :, None, :] - self.X_rot[sl]  # (rows, nphi, nrot, 3)
+            nsl = sl.stop - a
+
+            syn = (tb.B_all_re[sl].reshape(nsl * 3 * nrot, ncoef) @ Cr
+                   - tb.B_all_im[sl].reshape(nsl * 3 * nrot, ncoef) @ Ci)
+            syn = syn.reshape(nsl, 3, nrot, nphi, 3).transpose(1, 0, 3, 2, 4)
+            Xr, Xt, Xp = syn[0], syn[1], syn[2]    # (nsl, nphi, nrot, 3)
+            W = np.linalg.norm(np.cross(Xt, Xp), axis=-1)
+            X_rot[sl] = Xr
+            w_rot[sl] = ((W / tb.row_sin_theta_r[sl, None, :])
+                         * tb.weights[None, None, :])
+
+            r = surf.X[sl, :, None, :] - Xr        # (nsl, nphi, nrot, 3)
             inv_r = 1.0 / np.sqrt(np.einsum("itsk,itsk->its", r, r))
-            w = scale * self.w_rot[sl]
-            # KW[i, t, s, k, j] = w ( inv_r delta_kj + r_k r_j inv_r^3 )
-            KW = ((w * inv_r)[..., None, None] * np.eye(3)
-                  + (r * (w * inv_r ** 3)[..., None])[..., :, None]
-                  * r[..., None, :])
-            # contract rotated nodes with the per-row synthesis matrices
-            # (batched real GEMMs over latitude rows)
-            KWt = KW.transpose(0, 1, 3, 4, 2).reshape(-1, nphi * 9, nrot)
-            Qr = np.matmul(KWt, tb.B_val_re[sl]).reshape(-1, nphi, 9, ncoef)
-            Qi = np.matmul(KWt, tb.B_val_im[sl]).reshape(-1, nphi, 9, ncoef)
+            w = scale * w_rot[sl]
+            trace = w * inv_r                      # the delta_kj part
+            g3 = trace * inv_r * inv_r             # w / r^3
+            # Contract each scalar (target, rotated-node) field with the
+            # per-row synthesis matrices: batched real GEMMs over rows.
+            fields = [trace] + [r[..., k] * r[..., j] * g3
+                                for k, j in pairs]
+            if D is not None:
+                # One real GEMM per target against the fused
+                # synthesis-phase-SHT table, scattered straight into the
+                # (velocity comp, node, density comp) block layout.
+                F = np.stack(fields, axis=2)       # (nsl, nphi, 7, nrot)
+                Q = np.matmul(D[sl], F.transpose(0, 1, 3, 2))
+                Msl = M[sl]
+                for idx, (k, j) in enumerate(pairs):
+                    Msl[:, :, k, :, j] = Q[..., 1 + idx]
+                    if k != j:
+                        Msl[:, :, j, :, k] = Q[..., 1 + idx]
+                for k in range(3):
+                    Msl[:, :, k, :, k] += Q[..., 0]
+                continue
+            F = np.stack(fields, axis=2)           # (nsl, nphi, 7, nrot)
+            Qr = np.matmul(F, tb.B_val_re[sl, None])
+            Qi = np.matmul(F, tb.B_val_im[sl, None])
+
+            def expand(Q):
+                """(nsl, nphi, 7, ncoef) -> full (nsl, nphi, 9, ncoef)."""
+                out = np.empty((nsl, nphi, 3, 3, ncoef))
+                for idx, (k, j) in enumerate(pairs):
+                    out[:, :, k, j] = Q[:, :, 1 + idx]
+                    if k != j:
+                        out[:, :, j, k] = Q[:, :, 1 + idx]
+                for k in range(3):
+                    out[:, :, k, k] += Q[:, :, 0]
+                return out.reshape(nsl, nphi, 9, ncoef)
+
+            Qr, Qi = expand(Qr), expand(Qi)
             # azimuthal phase of each target column
             Q2r = (Qr * ph_r - Qi * ph_i).reshape(-1, nphi * 9, ncoef)
             Q2i = (Qr * ph_i + Qi * ph_r).reshape(-1, nphi * 9, ncoef)
@@ -229,13 +298,53 @@ class SingularSelfInteraction:
             Mi = np.matmul(Q2r, self._A_re) - np.matmul(Q2i, self._A_im)
             M[sl] = (Mi.reshape(-1, nphi, 3, 3, n)
                      .transpose(0, 1, 2, 4, 3))
+        self.X_rot = X_rot
+        self.w_rot = w_rot
         self._matrix = M.reshape(3 * n, 3 * n)
+        self._ref_matrix = self._matrix
+        self._ref_area = surf.area()
+        self._rotated_geometry_stale = False
 
-    def refresh(self) -> None:
-        """Re-evaluate cached geometry and reassemble the dense operator
-        after the surface has moved."""
-        self._prepare_geometry()
-        self._assemble_matrix()
+    def _correct_matrix(self) -> None:
+        """First-order geometric correction of the last full assembly.
+
+        The Stokeslet is translation-invariant, so a rigid translation
+        leaves the assembled operator exactly unchanged; under a uniform
+        dilation ``X -> c + s (X - c)`` the single layer scales exactly
+        like ``s`` (weights ``s^2``, kernel ``1/s``). The cheap
+        intermediate refresh therefore rescales the reference operator by
+        ``s = sqrt(area / area_ref)`` — the dilatational first-order term
+        of the geometric perturbation; the deviatoric part is the O(shape
+        change) error bounded by the refresh interval (see
+        ``NumericsOptions.selfop_refresh_interval``).
+        """
+        s = float(np.sqrt(self.surface.area() / self._ref_area))
+        self._matrix = s * self._ref_matrix
+        # X_rot / w_rot still describe the reference geometry; only the
+        # corrected operator matrix is valid until the next full assembly.
+        self._rotated_geometry_stale = True
+
+    def refresh(self, full: bool | None = None) -> bool:
+        """Re-evaluate cached state after the surface has moved.
+
+        ``full=None`` applies the amortization policy: a full reassembly
+        every ``refresh_interval``-th call, the first-order correction in
+        between. ``full=True`` forces reassembly (and restarts the cycle)
+        — callers making out-of-band position changes (recycling,
+        steering) should force it, since the correction is only accurate
+        for the small per-step motion. Returns whether a full reassembly
+        happened, so dependents (e.g. the per-cell factorized solvers)
+        can align their own refresh cycle with this operator's.
+        """
+        if full is None:
+            full = self._since_full % self.refresh_interval == 0
+        if full:
+            self._assemble_full()
+            self._since_full = 1
+        else:
+            self._correct_matrix()
+            self._since_full += 1
+        return full
 
     @property
     def matrix(self) -> np.ndarray:
@@ -255,7 +364,19 @@ class SingularSelfInteraction:
 
     def apply_reference(self, density: np.ndarray) -> np.ndarray:
         """Seed-path re-synthesis evaluation (reference for the assembled
-        matrix; kept for verification and convergence tests)."""
+        matrix; kept for verification and convergence tests).
+
+        Only valid right after a full assembly: it mixes the cached
+        rotated geometry with the surface's *current* position and
+        coefficients, so after an intermediate (first-order-corrected)
+        refresh it would compare against neither geometry.
+        """
+        if getattr(self, "_rotated_geometry_stale", False):
+            raise RuntimeError(
+                "apply_reference needs the cached rotated geometry of a "
+                "full assembly, but only a first-order-corrected operator "
+                "is current (selfop_refresh_interval > 1); call "
+                "refresh(full=True) first")
         surf = self.surface
         tb = self.tables
         grid = surf.grid

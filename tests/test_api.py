@@ -261,6 +261,19 @@ class TestInteractionBackends:
                    / np.linalg.norm(bd[i]))
             assert rel < 5e-3, f"cell {i}: rel diff {rel:.2e}"
 
+    def test_treecode_batched_cell_cell_matches_generic(self,
+                                                        three_cell_scene):
+        """The near-pair-batched cell_cell override computes exactly what
+        the generic per-source path computes."""
+        from repro.core.interactions import InteractionBackend
+        cells, forces = three_cell_scene
+        tree = TreecodeBackend().bind(cells, 1.0)
+        tree.prepare(forces)
+        batched = tree.cell_cell()
+        generic = InteractionBackend.cell_cell(tree)
+        for bb, gg in zip(batched, generic):
+            assert np.allclose(bb, gg, atol=1e-12)
+
     def test_backend_equivalence_external_targets(self, three_cell_scene):
         cells, forces = three_cell_scene
         direct = DirectBackend().bind(cells, 1.0)

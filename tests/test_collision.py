@@ -216,6 +216,31 @@ class TestNCP:
         assert rep.lcp_solves >= 1
         assert rep.max_penetration_after < 0.2 * rep.max_penetration_before
 
+    def test_mesh_cache_rebuilds_only_moved_cells(self, monkeypatch):
+        """A repeat projection at identical positions builds no meshes;
+        results are unchanged by caching."""
+        import repro.collision.ncp as ncp_mod
+        built = []
+        orig = ncp_mod.cell_collision_mesh
+
+        def counting(surface, object_id, collision_order=None):
+            built.append(object_id)
+            return orig(surface, object_id, collision_order=collision_order)
+
+        monkeypatch.setattr(ncp_mod, "cell_collision_mesh", counting)
+        s1 = sphere(1.0, order=5)
+        s2 = sphere(1.0, center=(5.0, 0, 0), order=5)
+        ops = [SingularSelfInteraction(s) for s in (s1, s2)]
+        ncp = NCPSolver(boundary_meshes=[])
+        cand = [s1.X + 0.01, s2.X + 0.01]
+        pos1, _ = ncp.project([s1, s2], cand, [o.apply for o in ops], 0.1)
+        n_cold = len(built)
+        assert n_cold == 4          # current + candidate, both cells
+        built.clear()
+        pos2, _ = ncp.project([s1, s2], cand, [o.apply for o in ops], 0.1)
+        assert built == []          # every mesh served from the cache
+        assert all(np.array_equal(a, b) for a, b in zip(pos1, pos2))
+
     def test_cell_wall_contact(self, small_opts):
         vessel = cube_sphere(refine=0, radius=2.0, options=small_opts)
         walls = [patch_collision_mesh(p, i, m=10)

@@ -31,7 +31,8 @@ class TestTimers:
     def test_breakdown_keys(self):
         t = ComponentTimers()
         bd = t.breakdown()
-        assert set(bd) == {"COL", "BIE-solve", "BIE-FMM", "Other-FMM", "Other"}
+        assert set(bd) == {"COL", "BIE-solve", "BIE-FMM", "Other-FMM",
+                           "Tension", "Implicit", "Other"}
 
 
 class TestFreeSpaceSimulation:

@@ -116,6 +116,32 @@ class TestStokes:
         u2 = (stokes_dlp_matrix(src, n, trg) @ f.ravel()).reshape(-1, 3)
         assert np.allclose(u2, stokes_dlp_apply(src, n, f, trg))
 
+    def test_source_blocked_path_matches_matrix(self, rng):
+        # Above _SRC_CHUNK sources the apply cache-blocks both dimensions;
+        # it must agree with the dense matrix to rounding, including
+        # coincident pairs that land mid-block (the exact-zero exclusion).
+        src = rng.normal(size=(600, 3))
+        f = rng.normal(size=(600, 3))
+        trg = np.vstack([rng.normal(size=(40, 3)) + 2.0,
+                         src[[5, 300, 599]]])
+        ref = (stokes_slp_matrix(src, trg) @ f.ravel()).reshape(-1, 3)
+        got = stokes_slp_apply(src, f, trg)
+        assert np.allclose(got, ref, atol=1e-10)
+
+    def test_source_blocked_equals_single_pass(self, rng):
+        import repro.kernels.stokes as ks
+        src = rng.normal(size=(700, 3))
+        f = rng.normal(size=(700, 3))
+        trg = rng.normal(size=(1200, 3)) * 2.0
+        blocked = stokes_slp_apply(src, f, trg)
+        old = ks._SRC_CHUNK
+        try:
+            ks._SRC_CHUNK = 10 ** 9   # force the single-pass path
+            single = stokes_slp_apply(src, f, trg)
+        finally:
+            ks._SRC_CHUNK = old
+        assert np.allclose(blocked, single, atol=1e-12)
+
     def test_viscosity_scaling(self, rng):
         src = rng.normal(size=(10, 3))
         f = rng.normal(size=(10, 3))
