@@ -17,14 +17,20 @@ the max trajectory deviation against the default run over the same steps
 so the speed/accuracy trade is recorded next to the timing.
 
 Run:  PYTHONPATH=src python benchmarks/bench_step_breakdown.py
-      [--steps N] [--reduced | --all] [--out PATH]
+      [--steps N] [--reduced | --all] [--out PATH] [--workers N]
       [--check-against BASELINE.json]
 
 ``--reduced`` runs a 2-cell order-6 variant for CI smoke runs; ``--all``
 runs both variants into one file (the committed-baseline format).
-``--check-against`` compares the default-config ms/step of the matching
-scene against a previously committed ``BENCH_step.json`` and exits
-nonzero on a regression beyond ``REGRESSION_TOLERANCE``.
+``--workers N`` adds a threaded-executor row per scene (default
+numerics on the ``"thread"`` executor with N workers) and records its
+trajectory deviation against the serial run — the executor contract
+makes that deviation exactly 0.0, so the row doubles as a determinism
+check. ``--check-against`` compares the default-config (serial) ms/step
+of the matching scene against a previously committed
+``BENCH_step.json`` and exits nonzero on a regression beyond
+``REGRESSION_TOLERANCE``; the threaded row is informational and never
+gated (thread scaling is host-dependent).
 """
 from __future__ import annotations
 
@@ -71,7 +77,8 @@ AMORTIZED_INTERVAL = 4
 
 
 def build_scene(order: int = 8, ncells: int = 6,
-                selfop_refresh_interval: int = 1) -> Simulation:
+                selfop_refresh_interval: int = 1,
+                executor: str = "serial", workers: int = 1) -> Simulation:
     """The reference scene: ``ncells`` RBCs on a close-packed lattice."""
     spacing = 2.4  # equatorial radius 1.0 -> neighbours inside the near zone
     cells = []
@@ -84,13 +91,16 @@ def build_scene(order: int = 8, ncells: int = 6,
                               Gravity(0.5, (0.0, 0.0, -1.0))],
                       backend="direct", with_collisions=True,
                       numerics=NumericsOptions(
-                          selfop_refresh_interval=selfop_refresh_interval))
+                          selfop_refresh_interval=selfop_refresh_interval,
+                          executor=executor, workers=workers))
     return Simulation(cells, config=cfg)
 
 
-def _timed_run(order: int, ncells: int, steps: int, interval: int):
+def _timed_run(order: int, ncells: int, steps: int, interval: int,
+               executor: str = "serial", workers: int = 1):
     sim = build_scene(order=order, ncells=ncells,
-                      selfop_refresh_interval=interval)
+                      selfop_refresh_interval=interval,
+                      executor=executor, workers=workers)
     t0 = time.perf_counter()
     sim.run(steps)
     elapsed = time.perf_counter() - t0
@@ -99,14 +109,14 @@ def _timed_run(order: int, ncells: int, steps: int, interval: int):
     return sim, round(1e3 * elapsed / steps, 2), breakdown
 
 
-def run_scene(steps: int, reduced: bool) -> dict:
+def run_scene(steps: int, reduced: bool, workers: int = 0) -> dict:
     order, ncells = (6, 2) if reduced else (8, 6)
     sim, ms, breakdown = _timed_run(order, ncells, steps, 1)
     sim_a, ms_a, breakdown_a = _timed_run(order, ncells, steps,
                                           AMORTIZED_INTERVAL)
     deviation = max(float(np.abs(a.X - b.X).max())
                     for a, b in zip(sim.cells, sim_a.cells))
-    return {
+    out = {
         "scene": {"order": order, "ncells": ncells, "backend": "direct",
                   "steps": steps, "reduced": reduced},
         "ms_per_step": ms,
@@ -119,9 +129,25 @@ def run_scene(steps: int, reduced: bool) -> dict:
         },
         "final_centroids": [c.centroid().tolist() for c in sim.cells],
     }
+    if workers > 0:
+        sim_t, ms_t, breakdown_t = _timed_run(order, ncells, steps, 1,
+                                              executor="thread",
+                                              workers=workers)
+        dev_t = max(float(np.abs(a.X - b.X).max())
+                    for a, b in zip(sim.cells, sim_t.cells))
+        out["threaded"] = {
+            "workers": workers,
+            "ms_per_step": ms_t,
+            "breakdown_ms_per_step": breakdown_t,
+            # the executor contract: gathered-by-index per-cell tasks
+            # make the threaded trajectory bit-identical to serial.
+            "max_traj_deviation_vs_serial": dev_t,
+        }
+    return out
 
 
-def run(steps: int, variants: list[bool], out_path: str) -> dict:
+def run(steps: int, variants: list[bool], out_path: str,
+        workers: int = 0) -> dict:
     result = {
         "pr1_baseline_ms_per_step": PR1_BASELINE_MS,
         "pr2_before": PR2_BEFORE,
@@ -130,7 +156,7 @@ def run(steps: int, variants: list[bool], out_path: str) -> dict:
     }
     for reduced in variants:
         key = "reduced" if reduced else "full"
-        result["runs"][key] = run_scene(steps, reduced)
+        result["runs"][key] = run_scene(steps, reduced, workers=workers)
     full = result["runs"].get("full")
     if full is not None:
         result["speedup_vs_before_default"] = round(
@@ -176,6 +202,10 @@ def main() -> None:
     ap.add_argument("--all", action="store_true",
                     help="run both variants (committed-baseline format)")
     ap.add_argument("--out", default="BENCH_step.json")
+    ap.add_argument("--workers", type=int, default=0, metavar="N",
+                    help="also time a thread-executor row with N workers "
+                         "(0 = skip); records its (zero) trajectory "
+                         "deviation vs serial, never gated")
     ap.add_argument("--check-against", default=None, metavar="BASELINE",
                     help="fail if ms/step regresses beyond --tolerance x "
                          "this BENCH_step.json")
@@ -183,7 +213,7 @@ def main() -> None:
                     help="regression-gate factor (default %(default)s)")
     args = ap.parse_args()
     variants = [False, True] if args.all else [args.reduced]
-    result = run(args.steps, variants, args.out)
+    result = run(args.steps, variants, args.out, workers=args.workers)
     print(json.dumps(result, indent=2))
     full = result["runs"].get("full")
     if full is not None:
@@ -193,6 +223,12 @@ def main() -> None:
               f"(PR 2 code on this host: {BEFORE['ms_per_step']:.0f}; "
               f"{result['speedup_vs_before_default']:.2f}x / "
               f"{result['speedup_vs_before_amortized']:.2f}x)")
+    for key, run_ in result["runs"].items():
+        threaded = run_.get("threaded")
+        if threaded is not None:
+            print(f"threaded[{key}] workers={threaded['workers']}: "
+                  f"{threaded['ms_per_step']:.0f} ms/step, deviation vs "
+                  f"serial {threaded['max_traj_deviation_vs_serial']:.1e}")
     if args.check_against:
         sys.exit(check_against(result, args.check_against, args.tolerance))
 

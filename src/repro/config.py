@@ -94,6 +94,26 @@ class NumericsOptions:
     #: GMRES automatically when ``dt`` changes between a cell's
     #: factorization and its solve (mid-run adaptive stepping).
     direct_implicit: bool = True
+    #: Executor of the per-cell stage pipeline (a key of
+    #: :data:`repro.runtime.executor.EXECUTORS`): ``"serial"`` (the
+    #: default) runs every per-cell task in order on the calling thread;
+    #: ``"thread"`` maps them over a pool of ``workers`` threads. The
+    #: per-cell tasks are dense-linear-algebra heavy (they release the
+    #: GIL) and touch disjoint state, and results are always gathered by
+    #: cell index, so the threaded schedule is bit-identical to serial.
+    executor: str = "serial"
+    #: Worker count of the ``"thread"`` executor (ignored by
+    #: ``"serial"``). ``workers=1`` still runs tasks on a pool thread but
+    #: produces the same results as the serial executor.
+    workers: int = 1
+    #: Precision of the *far-field* smooth quadrature: ``"float32"`` runs
+    #: the far block of :func:`repro.kernels.stokes_slp_apply` and the
+    #: treecode equivalent-density (M2P) sums in single precision —
+    #: roughly halving their memory traffic — while every near-singular,
+    #: singular and on-surface path stays float64. Adds ~1e-6 relative
+    #: error to the far field only; ``"float64"`` (the default) is the
+    #: exact path.
+    farfield_dtype: str = "float64"
 
     def fine_subpatches(self) -> int:
         """Number of subpatches in the fine discretization of one patch."""
@@ -184,6 +204,15 @@ class ReproConfig:
             if n.selfop_refresh_interval < 1:
                 errors.append("selfop_refresh_interval must be >= 1, got "
                               f"{n.selfop_refresh_interval}")
+            from .runtime.executor import EXECUTORS
+            if n.executor not in EXECUTORS:
+                errors.append(f"unknown executor {n.executor!r}; "
+                              f"registered: {sorted(EXECUTORS)}")
+            if n.workers < 1:
+                errors.append(f"workers must be >= 1, got {n.workers}")
+            if n.farfield_dtype not in ("float32", "float64"):
+                errors.append("farfield_dtype must be 'float32' or "
+                              f"'float64', got {n.farfield_dtype!r}")
         if errors:
             raise ValueError("invalid ReproConfig: " + "; ".join(errors))
 

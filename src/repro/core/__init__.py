@@ -8,8 +8,13 @@ projection (NCP). :class:`Scenario` / :class:`ScenarioBuilder` are the
 fluent front door. Component wall-times are accumulated in the same
 categories the paper reports (COL, BIE-solve, BIE-FMM, Other-FMM,
 Other) so the scaling harness can regenerate Figs. 4-6.
+
+Per-cell stages run through the :class:`CellBatch` structure-of-arrays
+layer (same-order cells share stacked GEMMs) on the executor selected by
+``NumericsOptions.executor`` (see :mod:`repro.runtime.executor`).
 """
 from .timers import ComponentTimers
+from .cellbatch import CellBatch
 from .interactions import (BACKENDS, DirectBackend, InteractionBackend,
                            TreecodeBackend, make_backend, register_backend)
 from .stepper import TimeStepper, StepReport
@@ -18,6 +23,7 @@ from .scenario import Scenario, ScenarioBuilder
 
 __all__ = [
     "ComponentTimers",
+    "CellBatch",
     "TimeStepper",
     "StepReport",
     "Simulation",

@@ -1,0 +1,117 @@
+"""Structure-of-arrays batch view over a scene's cells.
+
+The per-cell stages of a time step act on *every* cell with the same
+kind of dense linear algebra: a forward SHT of the positions, a GEMV
+against the cell's assembled self-interaction operator, a factorized
+solve. :class:`CellBatch` is the batching layer those stages go through:
+it groups the cells by spherical-harmonic order, and inside each group
+the per-cell calls collapse into one *stacked* operation — a single
+``(ncell, nlat, nphi, 3)``-shaped transform, or one batched
+``(ncell, 3N, 3N) @ (ncell, 3N)`` GEMM — instead of ``ncell`` separate
+GEMVs. Homogeneous scenes (every cell the same order, the common case)
+are therefore one BLAS call per stage; heterogeneous scenes degrade
+gracefully to one call per order group.
+
+Batching changes no semantics: the stacked paths agree with the
+per-cell loops to floating-point roundoff (``<= 1e-12`` relative, tested)
+and everything here is deterministic, so it composes with any
+:mod:`repro.runtime.executor` choice.
+"""
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..sph import get_transform
+from ..surfaces import SpectralSurface
+
+
+class CellBatch:
+    """Groups a cell list by order and batches their per-cell dense ops.
+
+    The batch holds references (not copies) to the cells, so it stays
+    valid as they move; only membership is fixed at construction.
+    """
+
+    def __init__(self, cells: Sequence[SpectralSurface]):
+        self.cells: List[SpectralSurface] = list(cells)
+        by_order: Dict[int, List[int]] = {}
+        for i, c in enumerate(self.cells):
+            by_order.setdefault(c.order, []).append(i)
+        #: ``(order, cell indices)`` per group, ascending in order; the
+        #: index lists preserve scene order, so scattering grouped
+        #: results back by index is deterministic.
+        self.groups: List[Tuple[int, List[int]]] = sorted(by_order.items())
+
+    @property
+    def homogeneous(self) -> bool:
+        """Whether every cell shares one spherical-harmonic order."""
+        return len(self.groups) <= 1
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    # -- stacked views -----------------------------------------------------
+    def stacked_positions(self) -> Dict[int, np.ndarray]:
+        """Per order group, positions stacked as ``(k, nlat, nphi, 3)``."""
+        return {order: np.stack([self.cells[i].X for i in idx])
+                for order, idx in self.groups}
+
+    # -- batched SHT -------------------------------------------------------
+    def seed_coeffs(self) -> None:
+        """Fill every cell's SH-coefficient cache with stacked transforms.
+
+        Per order group, the coordinate fields of all cells whose cache
+        is empty are stacked and pushed through *one* forward SHT (the
+        transform's leading axes are batch dimensions), then scattered
+        into each cell via :meth:`SpectralSurface.seed_coeffs` — one
+        Legendre GEMM per group instead of one per cell. Every
+        downstream consumer (geometry, self-op assembly, the near
+        evaluators) then finds the coefficients already cached.
+        """
+        for order, idx in self.groups:
+            todo = [i for i in idx if self.cells[i]._coeffs is None]
+            if not todo:
+                continue
+            T = get_transform(order)
+            fields = np.stack([np.moveaxis(self.cells[i].X, -1, 0)
+                               for i in todo])        # (k, 3, nlat, nphi)
+            coeffs = T.forward(fields)
+            for slot, i in enumerate(todo):
+                self.cells[i].seed_coeffs(coeffs[slot])
+
+    # -- batched per-cell operator application -----------------------------
+    def apply_matrices(self, matrices: Sequence[Optional[np.ndarray]],
+                       vectors: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """``y_i = M_i @ x_i`` for per-cell square operators, batched.
+
+        ``matrices[i]`` / ``vectors[i]`` belong to cell ``i``. Cells in
+        the same order group share operator shape, so each group is one
+        stacked ``(k, m, m) @ (k, m, 1)`` GEMM; a cell with ``None`` for
+        its matrix passes its vector through unchanged (identity).
+        Results come back as a list indexed by cell.
+        """
+        if len(matrices) != len(self.cells) or len(vectors) != len(self.cells):
+            raise ValueError(
+                f"expected {len(self.cells)} matrices/vectors, got "
+                f"{len(matrices)}/{len(vectors)}")
+        out: List[Optional[np.ndarray]] = [None] * len(self.cells)
+        for _, idx in self.groups:
+            live = [i for i in idx if matrices[i] is not None]
+            for i in idx:
+                if matrices[i] is None:
+                    out[i] = np.asarray(vectors[i], float).ravel().copy()
+            if not live:
+                continue
+            if len(live) == 1:
+                i = live[0]
+                out[i] = matrices[i] @ np.asarray(vectors[i], float).ravel()
+                continue
+            M = np.stack([matrices[i] for i in live])
+            x = np.stack([np.asarray(vectors[i], float).ravel()
+                          for i in live])
+            y = np.matmul(M, x[:, :, None])[:, :, 0]
+            for slot, i in enumerate(live):
+                out[i] = y[slot]
+        return out

@@ -16,6 +16,12 @@ Both cache one :class:`~repro.vesicle.CellNearEvaluator` per cell across
 steps (rebuilding them every step was a measurable hot-path cost) and
 upsample each cell's force density to the fine grid once per step,
 reusing it for every target batch.
+
+The per-source sums are independent tasks, so every source loop maps
+over the backend's :attr:`~InteractionBackend.executor` (assigned by the
+time stepper, serial by default) and the per-target accumulations are
+folded afterwards in fixed source order — the threaded schedule is
+bit-identical to the serial one.
 """
 from __future__ import annotations
 
@@ -24,6 +30,7 @@ from typing import ClassVar, Dict, List, Optional, Sequence, Type
 import numpy as np
 
 from ..fmm import KernelIndependentTreecode
+from ..runtime.executor import Executor, SerialExecutor
 from ..surfaces import SpectralSurface
 from ..vesicle import CellNearEvaluator
 
@@ -42,20 +49,26 @@ class InteractionBackend:
     def __init__(self) -> None:
         self.cells: List[SpectralSurface] = []
         self.viscosity = 1.0
+        self.farfield_dtype = "float64"
         self.evaluators: List[CellNearEvaluator] = []
+        #: executor the per-source tasks are mapped over (the stepper
+        #: installs its own, so backend and stages share one policy).
+        self.executor: Executor = SerialExecutor()
         self._bound = False
         self._prepared = False
         self._fw: List[np.ndarray] = []
         self._forces: List[np.ndarray] = []
 
-    def bind(self, cells: Sequence[SpectralSurface],
-             viscosity: float) -> "InteractionBackend":
+    def bind(self, cells: Sequence[SpectralSurface], viscosity: float,
+             farfield_dtype: str = "float64") -> "InteractionBackend":
         # Copy: a caller mutating its own list must not desynchronize
         # cells from their evaluators.
         self.cells = list(cells)
         self.viscosity = float(viscosity)
-        self.evaluators = [CellNearEvaluator(c, viscosity=self.viscosity)
-                           for c in self.cells]
+        self.farfield_dtype = str(farfield_dtype)
+        self.evaluators = [CellNearEvaluator(
+            c, viscosity=self.viscosity,
+            farfield_dtype=self.farfield_dtype) for c in self.cells]
         self._bound = True
         self._prepared = False
         return self
@@ -118,19 +131,29 @@ class InteractionBackend:
         All other cells' points are stacked into one target batch per
         source cell, so the near-singular pipeline and the far kernel run
         once per source instead of once per (source, target-cell) pair.
+        The per-source batches are independent tasks mapped over the
+        executor; the accumulation folds in fixed source order.
         """
         self._require_prepared()
         cells = self.cells
         ncell = len(cells)
         b = [np.zeros((c.n_points, 3)) for c in cells]
-        for j in range(ncell):
+
+        def task(j: int) -> Optional[np.ndarray]:
             others = [i for i in range(ncell) if i != j]
             if not others:
-                continue
+                return None
             targets = np.concatenate([cells[i].points for i in others])
-            vals = self._source_velocity(j, targets)
+            return self._source_velocity(j, targets)
+
+        vals_per_source = self.executor.map(task, range(ncell))
+        for j, vals in enumerate(vals_per_source):
+            if vals is None:
+                continue
             at = 0
-            for i in others:
+            for i in range(ncell):
+                if i == j:
+                    continue
                 n = cells[i].n_points
                 b[i] += vals[at:at + n]
                 at += n
@@ -141,8 +164,11 @@ class InteractionBackend:
         self._require_prepared()
         targets = np.atleast_2d(np.asarray(targets, float))
         out = np.zeros((targets.shape[0], 3))
-        for j in range(len(self.cells)):
-            out += self._source_velocity(j, targets)
+        vals = self.executor.map(
+            lambda j: self._source_velocity(j, targets),
+            range(len(self.cells)))
+        for v in vals:
+            out += v
         return out
 
 
@@ -229,14 +255,17 @@ class TreecodeBackend(InteractionBackend):
     def prepare(self, forces: Sequence[np.ndarray]) -> None:
         super().prepare(forces)
         self._bounding_spheres()
-        self._trees = [
-            KernelIndependentTreecode(
+        # Per-source tree builds (upward pass included) are independent
+        # tasks; the far-field dtype only affects evaluation, the fits
+        # stay float64.
+        self._trees = self.executor.map(
+            lambda j: KernelIndependentTreecode(
                 self.evaluators[j]._fine.points,
                 self._weighted(j).reshape(-1, 3), "stokes_slp",
                 self.viscosity, max_leaf=self.max_leaf,
                 equiv_points_per_edge=self.equiv_points_per_edge,
-                mac=self.mac)
-            for j in range(len(self.cells))]
+                mac=self.mac, farfield_dtype=self.farfield_dtype),
+            range(len(self.cells)))
 
     def _near_cutoffs(self) -> np.ndarray:
         """Per-source near-zone radius (bounding sphere + near distance)."""
@@ -290,10 +319,14 @@ class TreecodeBackend(InteractionBackend):
                            axis=2)
         near = d < self._near_cutoffs()[None, :]
         b = [np.zeros((n, 3)) for n in counts]
-        for j in range(ncell):
+
+        def task(j: int) -> np.ndarray:
             keep = np.ones(allpts.shape[0], dtype=bool)
             keep[offsets[j]:offsets[j + 1]] = False   # skip self targets
-            vals = self._masked_velocity(j, allpts[keep], near[keep, j])
+            return self._masked_velocity(j, allpts[keep], near[keep, j])
+
+        vals_per_source = self.executor.map(task, range(ncell))
+        for j, vals in enumerate(vals_per_source):
             at = 0
             for i in range(ncell):
                 if i == j:

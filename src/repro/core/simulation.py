@@ -128,6 +128,13 @@ class Simulation:
     def backend(self) -> InteractionBackend:
         return self.stepper.backend
 
+    @property
+    def executor(self):
+        """The per-cell stage executor (see ``NumericsOptions.executor`` /
+        ``workers``); ``sim.executor.close()`` releases worker threads
+        early when a threaded simulation is discarded mid-run."""
+        return self.stepper.executor
+
     # -- driving ------------------------------------------------------------
     def step(self) -> StepReport:
         """Advance one time step (and recycle outlet cells if configured)."""

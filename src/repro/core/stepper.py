@@ -17,6 +17,16 @@ self-interaction is implicit — exactly the paper's splitting. The
 physics of step 1 is an open list of :class:`~repro.physics.terms.ForceTerm`
 objects, and the cell-cell summation of (d) is delegated to an
 :class:`~repro.core.interactions.InteractionBackend`.
+
+Every per-cell stage — force evaluation, the tension and implicit
+factorize-and-solve, the operator refreshes — is expressed as an
+independent task per cell and mapped over the
+:class:`~repro.runtime.executor.Executor` selected by
+``NumericsOptions.executor`` / ``workers``; results are gathered by cell
+index, so the threaded schedule is bit-identical to the serial one.
+Same-order cells additionally share stacked GEMMs (the
+:class:`~repro.core.cellbatch.CellBatch` layer) for the self-interaction
+applies and the post-step forward SHTs.
 """
 from __future__ import annotations
 
@@ -28,13 +38,15 @@ import numpy as np
 from ..config import NumericsOptions
 from ..linalg import LUFactorization, gmres
 from ..physics import linearized_bending_apply
-from ..physics.bending import linearized_bending_factors
+from ..physics.bending import implicit_operator_matrix
 from ..physics.tension import TensionSolver
 from ..physics.terms import (BackgroundFlow, Bending, CellState, ForceTerm,
                              Gravity, Tension)
+from ..runtime.executor import make_executor
 from ..surfaces import SpectralSurface
 from ..vesicle import SingularSelfInteraction
 from ..collision import NCPSolver, NCPReport
+from .cellbatch import CellBatch
 from .interactions import DirectBackend, InteractionBackend
 from .timers import ComponentTimers
 
@@ -85,6 +97,11 @@ class TimeStepper:
         self.implicit_tol = implicit_tol
         self.implicit_max_iter = implicit_max_iter
         self.viscosity = self.options.viscosity
+        #: executor the per-cell stage tasks are mapped over.
+        self.executor = make_executor(self.options.executor,
+                                      self.options.workers)
+        #: order-grouped SoA view used for the stacked-GEMM paths.
+        self.batch = CellBatch(self.cells)
 
         if forces is None:
             forces = [Bending(bending_modulus)]
@@ -113,7 +130,8 @@ class TimeStepper:
         # another simulation still holds would corrupt that simulation,
         # so a mismatched pre-bound backend is an error, not a rebind.
         if not self.backend.bound:
-            self.backend.bind(self.cells, self.viscosity)
+            self.backend.bind(self.cells, self.viscosity,
+                              farfield_dtype=self.options.farfield_dtype)
         elif (self.backend.viscosity != self.viscosity
               or len(self.backend.cells) != len(self.cells)
               or any(a is not b for a, b in zip(self.backend.cells,
@@ -122,6 +140,15 @@ class TimeStepper:
                 "interaction backend is already bound to a different "
                 "simulation's cells; create a fresh backend instance per "
                 "simulation")
+        elif self.backend.farfield_dtype != self.options.farfield_dtype:
+            raise ValueError(
+                f"interaction backend was bound with farfield_dtype="
+                f"{self.backend.farfield_dtype!r} but the numerics request "
+                f"{self.options.farfield_dtype!r}; bind with the matching "
+                f"dtype")
+        # The backend's per-source loops run on the same executor as the
+        # per-cell stages (one scheduling policy per simulation).
+        self.backend.executor = self.executor
 
         self._self_ops: list[SingularSelfInteraction] = [
             SingularSelfInteraction(
@@ -241,7 +268,7 @@ class TimeStepper:
     def _explicit_velocities(self) -> tuple[list[np.ndarray], int]:
         cells = self.cells
         ncell = len(cells)
-        forces = [self.interfacial_force(i) for i in range(ncell)]
+        forces = self.executor.map(self.interfacial_force, range(ncell))
         bie_iters = 0
 
         # (d) cell-cell contributions (near-singular-aware), via the
@@ -262,16 +289,19 @@ class TimeStepper:
             with self.timers.scope("BIE-solve"):
                 phi, rep = solver.solve(g.ravel())
                 bie_iters = rep.iterations
-            # (c) u_Gamma at all cell points.
+            # (c) u_Gamma at all cell points, one task per target cell.
             with self.timers.scope("BIE-FMM"):
+                vals = self.executor.map(
+                    lambda i: solver.evaluate(phi, cells[i].points),
+                    range(ncell))
                 for i in range(ncell):
-                    vals = solver.evaluate(phi, cells[i].points)
-                    b[i] += np.asarray(vals).reshape(cells[i].X.shape)
+                    b[i] += np.asarray(vals[i]).reshape(cells[i].X.shape)
 
+        imposed = self.executor.map(
+            lambda i: self._imposed_velocity(cells[i].points), range(ncell))
         for i in range(ncell):
-            u = self._imposed_velocity(cells[i].points)
-            if u is not None:
-                b[i] += u.reshape(cells[i].X.shape)
+            if imposed[i] is not None:
+                b[i] += imposed[i].reshape(cells[i].X.shape)
         return b, bie_iters
 
     # -- tension update ---------------------------------------------------------
@@ -288,11 +318,23 @@ class TimeStepper:
         complement is assembled and LU-factorized on first use after each
         refresh and the solve is a direct back-substitution; otherwise
         the matrix-free GMRES path runs.
+
+        Batched in two stages: the self-interaction applies of all
+        same-order cells collapse into one stacked GEMM (CellBatch),
+        then the per-cell factorize-and-solve tasks map over the
+        executor.
         """
-        for i, cell in enumerate(self.cells):
+        ncell = len(self.cells)
+        f_bg = self.executor.map(
+            lambda i: self.interfacial_force(i, include_tension=False),
+            range(ncell))
+        applied = self.batch.apply_matrices(
+            [op.matrix for op in self._self_ops], f_bg)
+
+        def task(i: int) -> np.ndarray:
+            cell = self.cells[i]
             op = self._self_ops[i]
-            u_bg = b[i] + op.apply(
-                self.interfacial_force(i, include_tension=False))
+            u_bg = b[i] + applied[i].reshape(cell.X.shape)
             solver = self._tension_solvers[i]
             if solver is None:
                 solver = TensionSolver(
@@ -300,8 +342,9 @@ class TimeStepper:
                     self_matrix=(op.matrix if self.options.direct_tension
                                  else None))
                 self._tension_solvers[i] = solver
-            sigma, _ = solver.solve(u_bg)
-            self.sigmas[i] = sigma
+            return solver.solve(u_bg)[0]
+
+        self.sigmas = self.executor.map(task, range(ncell))
 
     # -- implicit update ----------------------------------------------------------
     def _implicit_update(self, i: int, b: np.ndarray, dt: float
@@ -324,21 +367,8 @@ class TimeStepper:
         if self.options.direct_implicit:
             cached = self._impl_lu[i]
             if cached is None:
-                # L factors as Nout core Nin (project on the normal, apply
-                # (-kappa/2) LB^2, scatter along the normal), so S L is the
-                # rank-N product (S Nout) core Nin — assembled with one
-                # (3N, N) contraction and an outer scatter instead of a
-                # dense (3N, 3N) x (3N, 3N) GEMM, and the full L matrix is
-                # never formed (linearized_bending_matrix builds the dense
-                # reference from the same factors).
-                core, nrm = linearized_bending_factors(cell, self.kappa)
-                n = cell.grid.n_points
-                S_nout = np.einsum("rmj,mj->rm",
-                                   op.matrix.reshape(3 * n, n, 3), nrm)
-                P = S_nout @ core                     # (3N, N)
-                A = (-dt) * (P[:, :, None]
-                             * nrm[None, :, :]).reshape(3 * n, 3 * n)
-                A[np.diag_indices_from(A)] += 1.0
+                A, core, nrm = implicit_operator_matrix(
+                    cell, op.matrix, self.kappa, dt)
                 cached = (dt, LUFactorization(A), core, nrm)
                 self._impl_lu[i] = cached
             if cached[0] == dt:
@@ -371,13 +401,12 @@ class TimeStepper:
                 with self.timers.scope("Tension"):
                     self._update_tensions(b)  # tensions folded via forces
 
-            candidates = []
-            impl_iters = []
             with self.timers.scope("Implicit"):
-                for i in range(len(self.cells)):
-                    Xp, iters = self._implicit_update(i, b[i], dt)
-                    candidates.append(Xp)
-                    impl_iters.append(iters)
+                results = self.executor.map(
+                    lambda i: self._implicit_update(i, b[i], dt),
+                    range(len(self.cells)))
+            candidates = [Xp for Xp, _ in results]
+            impl_iters = [iters for _, iters in results]
 
         ncp_report = None
         if self.ncp is not None:
@@ -391,7 +420,12 @@ class TimeStepper:
         with self.timers.scope("Other"):
             for i, cell in enumerate(self.cells):
                 cell.set_positions(newpos[i])
-                self._refresh_after_step(i)
+            # One stacked forward SHT per order group seeds every cell's
+            # coefficient cache before the per-cell refresh tasks (self-op
+            # reassembly, evaluator rebuilds) fan out over the executor.
+            self.batch.seed_coeffs()
+            self.executor.map(self._refresh_after_step,
+                              range(len(self.cells)))
         return StepReport(t=t, dt=dt, bie_iterations=bie_iters,
                           implicit_iterations=impl_iters, ncp=ncp_report,
                           recycled=[])

@@ -11,6 +11,7 @@ separately.
 from __future__ import annotations
 
 import contextlib
+import threading
 import time
 from collections import defaultdict
 
@@ -20,27 +21,43 @@ CATEGORIES = ("COL", "BIE-solve", "BIE-FMM", "Other-FMM", "Tension",
 
 class ComponentTimers:
     """Accumulates seconds per category; nested scopes attribute time to
-    the innermost category."""
+    the innermost category.
+
+    Thread-safe: the scope stack is thread-local (nesting is a
+    per-thread notion) and the shared accumulators are lock-guarded, so
+    executor worker threads may open scopes concurrently with the main
+    thread's stage scopes.
+    """
 
     def __init__(self) -> None:
         self.seconds: dict[str, float] = defaultdict(float)
-        self._stack: list[str] = []
+        self._local = threading.local()
+        self._lock = threading.Lock()
+
+    def _thread_stack(self) -> list[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     @contextlib.contextmanager
     def scope(self, category: str):
         if category not in CATEGORIES:
             raise ValueError(f"unknown category {category!r}")
+        stack = self._thread_stack()
         start = time.perf_counter()
-        self._stack.append(category)
+        stack.append(category)
         try:
             yield
         finally:
             elapsed = time.perf_counter() - start
-            self._stack.pop()
-            self.seconds[category] += elapsed
-            # subtract from the enclosing scope so categories are exclusive
-            if self._stack:
-                self.seconds[self._stack[-1]] -= elapsed
+            stack.pop()
+            with self._lock:
+                self.seconds[category] += elapsed
+                # subtract from the enclosing scope so categories are
+                # exclusive (within this thread's nesting)
+                if stack:
+                    self.seconds[stack[-1]] -= elapsed
 
     def total(self) -> float:
         return sum(self.seconds.values())

@@ -83,15 +83,24 @@ class KernelIndependentTreecode:
     mac:
         Multipole acceptance: a box is used in far form when
         ``dist(target, box center) >= mac * box_half_width``.
+    farfield_dtype:
+        ``"float32"`` evaluates the equivalent-density (M2P) sums in
+        single precision; the equivalent-density *fits* of the upward
+        pass and the direct leaf (P2P) sums stay float64, so only the
+        far field — already carrying the multipole approximation error —
+        is affected. Stokes kernel only (the Laplace path ignores it).
     """
 
     def __init__(self, sources: np.ndarray, weighted_density: np.ndarray,
                  kernel: KernelName = "stokes_slp", viscosity: float = 1.0,
                  max_leaf: int = 128, equiv_points_per_edge: int = 5,
-                 mac: float = 3.0):
+                 mac: float = 3.0, farfield_dtype: str = "float64"):
         self.kernel: KernelName = kernel
         self.viscosity = viscosity
         self.mac = float(mac)
+        self.farfield_dtype = str(farfield_dtype)
+        self._far_dtype = (None if self.farfield_dtype == "float64"
+                           else self.farfield_dtype)
         self.sources = np.atleast_2d(np.asarray(sources, float))
         den = np.asarray(weighted_density, float)
         self.ncomp = 3 if kernel == "stokes_slp" else 1
@@ -106,9 +115,10 @@ class KernelIndependentTreecode:
 
     # -- upward pass ---------------------------------------------------------
     def _box_eval(self, src: np.ndarray, den: np.ndarray,
-                  trg: np.ndarray) -> np.ndarray:
+                  trg: np.ndarray, dtype=None) -> np.ndarray:
         if self.kernel == "stokes_slp":
-            return stokes_slp_apply(src, den, trg, self.viscosity)
+            return stokes_slp_apply(src, den, trg, self.viscosity,
+                                    dtype=dtype)
         return laplace_slp_apply(src, den.ravel(), trg)[:, None]
 
     def _equiv_points(self, node) -> np.ndarray:
@@ -159,7 +169,7 @@ class KernelIndependentTreecode:
         near_idx = tidx[~far]
         if far_idx.size:
             vals = self._box_eval(self._equiv_points(node), node.equiv,
-                                  targets[far_idx])
+                                  targets[far_idx], dtype=self._far_dtype)
             out[far_idx] += vals
             self.stats["m2p"] += far_idx.size * self._surf.shape[0]
         if near_idx.size:

@@ -31,7 +31,8 @@ def _pairwise_r(trg_chunk: np.ndarray, src: np.ndarray):
 
 def stokes_slp_apply(src: np.ndarray, weighted_density: np.ndarray,
                      trg: np.ndarray, viscosity: float = 1.0,
-                     exclude_self: bool = False) -> np.ndarray:
+                     exclude_self: bool = False,
+                     dtype=None) -> np.ndarray:
     """Sum of stokeslets: u(x) = sum_j S(x, y_j) (w_j f_j).
 
     ``weighted_density`` is (ns, 3) with quadrature weights folded in.
@@ -46,55 +47,75 @@ def stokes_slp_apply(src: np.ndarray, weighted_density: np.ndarray,
     so only (nt, ns) intermediates are formed. Coordinates are centered
     on the source cloud first, which keeps the expansion of ``r^2 = |x|^2
     + |y|^2 - 2 x.y`` well-conditioned at near-field distances; the rare
-    pairs below ~1e-4 relative separation — where the expansion does lose
-    accuracy — are re-evaluated with the exact difference formula, which
-    also restores the exact zero-distance exclusion.
+    pairs below the working precision's cancellation threshold — where
+    the expansion does lose accuracy — are re-evaluated with the exact
+    float64 difference formula, which also restores the exact
+    zero-distance exclusion.
+
+    ``dtype="float32"`` runs the bulk GEMMs in single precision — the
+    far-field mode of ``NumericsOptions.farfield_dtype`` — with per-chunk
+    results accumulated in float64 and the close-pair patch still exact;
+    relative error vs the default float64 path is ~1e-6. ``dtype=None``
+    (or ``"float64"``) is the bit-exact double-precision path.
     """
     src = np.asarray(src, float).reshape(-1, 3)
     trg = np.asarray(trg, float).reshape(-1, 3)
     f = np.asarray(weighted_density, float).reshape(-1, 3)
+    work = (np.float32 if dtype in ("float32", np.float32)
+            else np.float64)
+    # Relative cancellation threshold of the expanded r^2 in the working
+    # precision (pairs below get the exact difference formula), plus an
+    # absolute term keeping inv_r^3 finite for a degenerate zero-scale
+    # cloud (single source at its own centroid) — in float32 that needs
+    # tiny >= ~2e-26 so (1/sqrt(tiny))^3 stays below the float32 max.
+    rel_floor, tiny = (1e-8, 1e-100) if work is np.float64 else (1e-3, 1e-24)
     out = np.empty((trg.shape[0], 3))
     scale = 1.0 / (8.0 * np.pi * viscosity)
     center = src.mean(axis=0) if src.size else np.zeros(3)
     srcc = src - center
-    src2 = np.einsum("sk,sk->s", srcc, srcc)
-    sf = np.einsum("sk,sk->s", srcc, f)
+    srcc_w = srcc.astype(work, copy=False)
+    f_w = f.astype(work, copy=False)
+    src2 = np.einsum("sk,sk->s", srcc_w, srcc_w)
+    sf = np.einsum("sk,sk->s", srcc_w, f_w)
     ns = src.shape[0]
     # Above one source tile, cache-block both dimensions so the streamed
     # (targets, sources) transients stay L2-resident (see _SRC_CHUNK).
     tchunk = _TRG_CHUNK_BLOCKED if ns > _SRC_CHUNK else _CHUNK
     for a in range(0, trg.shape[0], tchunk):
-        t = trg[a:a + tchunk] - center
+        t64 = trg[a:a + tchunk] - center
+        t = t64.astype(work, copy=False)
         t2 = np.einsum("tk,tk->t", t, t)
-        acc = np.zeros((t.shape[0], 3))
+        acc = np.zeros((t.shape[0], 3))       # float64 accumulator
         for b in range(0, ns, _SRC_CHUNK):
             sb = slice(b, min(b + _SRC_CHUNK, ns))
             scale2 = t2[:, None] + src2[None, sb]
-            r2 = scale2 - 2.0 * (t @ srcc[sb].T)
+            r2 = scale2 - 2.0 * (t @ srcc_w[sb].T)
             # Pairs this close lose accuracy to cancellation in the
             # expanded r^2 (and coincident points no longer give an exact
             # zero); clamp them for the bulk GEMMs and patch them exactly
-            # below. The absolute term keeps inv_r^3 finite even for a
-            # degenerate zero-scale cloud (single source at its own
-            # centroid).
-            floor = 1e-8 * scale2 + 1e-100
+            # below.
+            floor = rel_floor * scale2 + tiny
             sus_t, sus_s = np.nonzero(r2 < floor)
             inv_r = 1.0 / np.sqrt(np.maximum(r2, floor))
-            rf = (t @ f[sb].T - sf[None, sb]) * inv_r ** 3  # (r.f) / r^3
-            acc += inv_r @ f[sb] + t * rf.sum(axis=1)[:, None] - rf @ srcc[sb]
+            rf = (t @ f_w[sb].T - sf[None, sb]) * inv_r ** 3  # (r.f) / r^3
+            acc += inv_r @ f_w[sb] + t * rf.sum(axis=1)[:, None] \
+                - rf @ srcc_w[sb]
             if sus_t.size:
-                rv = t[sus_t] - srcc[sb][sus_s]
-                fs = f[sb][sus_s]
+                rv = t[sus_t] - srcc_w[sb][sus_s]
+                fs = f_w[sb][sus_s]
                 # what the bulk sums included for these pairs...
                 included = (inv_r[sus_t, sus_s, None] * fs
                             + rf[sus_t, sus_s, None] * rv)
-                # ...versus the exact per-pair kernel (zero when coincident)
-                r2e = np.einsum("nk,nk->n", rv, rv)
+                # ...versus the exact per-pair float64 kernel (zero when
+                # coincident)
+                rv64 = t64[sus_t] - srcc[sb][sus_s]
+                fs64 = f[sb][sus_s]
+                r2e = np.einsum("nk,nk->n", rv64, rv64)
                 with np.errstate(divide="ignore"):
                     inv_e = np.where(r2e > 0.0, 1.0 / np.sqrt(r2e), 0.0)
-                rfe = np.einsum("nk,nk->n", rv, fs) * inv_e ** 3
-                exact = inv_e[:, None] * fs + rfe[:, None] * rv
-                np.add.at(acc, sus_t, exact - included)
+                rfe = np.einsum("nk,nk->n", rv64, fs64) * inv_e ** 3
+                exact = inv_e[:, None] * fs64 + rfe[:, None] * rv64
+                np.add.at(acc, sus_t, exact - included.astype(np.float64))
         out[a:a + tchunk] = scale * acc
     return out
 

@@ -74,6 +74,31 @@ def linearized_bending_factors(surface: SpectralSurface, kappa: float = 1.0
     return (-0.5 * kappa) * (lb @ lb), g.normal.reshape(n, 3)
 
 
+def implicit_operator_matrix(surface: SpectralSurface,
+                             self_matrix: np.ndarray, kappa: float,
+                             dt: float
+                             ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Dense ``I - dt S L`` of the locally-implicit step, plus factors.
+
+    ``L`` factors as ``Nout core Nin`` (project on the normal, apply
+    ``(-kappa/2) LB^2``, scatter along the normal), so ``S L`` is the
+    rank-N product ``(S Nout) core Nin`` — assembled with one (3N, N)
+    contraction and an outer scatter instead of a dense (3N, 3N) x
+    (3N, 3N) GEMM; the full ``L`` matrix is never formed
+    (:func:`linearized_bending_matrix` builds the dense reference from
+    the same factors). Returns ``(A, core, normal)`` so the caller can
+    form the right-hand side ``L X`` from the same frozen factors.
+    """
+    core, nrm = linearized_bending_factors(surface, kappa)
+    n = surface.grid.n_points
+    S_nout = np.einsum("rmj,mj->rm",
+                       self_matrix.reshape(3 * n, n, 3), nrm)
+    P = S_nout @ core                                 # (3N, N)
+    A = (-dt) * (P[:, :, None] * nrm[None, :, :]).reshape(3 * n, 3 * n)
+    A[np.diag_indices_from(A)] += 1.0
+    return A, core, nrm
+
+
 def linearized_bending_matrix(surface: SpectralSurface,
                               kappa: float = 1.0) -> np.ndarray:
     """Dense (3N, 3N) matrix of :func:`linearized_bending_apply`.

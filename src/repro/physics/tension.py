@@ -78,17 +78,26 @@ class TensionSolver:
         self.max_iter = max_iter
         self._schur: Optional[LUFactorization] = None
         if self_matrix is not None:
-            # The Schur operator is rank-deficient on the grid: the grid
-            # has (p+1)(2p+2) points but band-limited fields span only
-            # (p+1)^2 modes, and both the operator's range and the
-            # right-hand side are band-limited. Solve A P + (I - P) — on
-            # the band-limited subspace this is A, on the complement the
-            # identity — which reproduces the unique band-limited solution
-            # the Krylov path converges to.
-            P = bandlimit_projector(surface.order)
-            A = self.schur_matrix(self_matrix) @ P
-            A += np.eye(P.shape[0]) - P
-            self._schur = LUFactorization(A)
+            self.factorize(self_matrix)
+
+    def factorize(self, self_matrix: np.ndarray) -> None:
+        """(Re)assemble and LU-factorize the Schur complement at the
+        surface's *current* geometry.
+
+        The per-cell factor-and-solve stage of the time stepper calls
+        this as an independent batch task per cell after each operator
+        refresh. The Schur operator is rank-deficient on the grid: the
+        grid has (p+1)(2p+2) points but band-limited fields span only
+        (p+1)^2 modes, and both the operator's range and the right-hand
+        side are band-limited. Solve A P + (I - P) — on the band-limited
+        subspace this is A, on the complement the identity — which
+        reproduces the unique band-limited solution the Krylov path
+        converges to.
+        """
+        P = bandlimit_projector(self.surface.order)
+        A = self.schur_matrix(self_matrix) @ P
+        A += np.eye(P.shape[0]) - P
+        self._schur = LUFactorization(A)
 
     def _shape(self):
         return self.surface.grid.nlat, self.surface.grid.nphi

@@ -10,8 +10,14 @@ counts and bytes. The ledger, combined with the machine models in
 algorithms themselves (Morton spatial hashing of Sec. 3.3, the HykSort-
 style parallel sample sort [45], the sparse all-to-all used by the LCP
 assembly) are real implementations operating on the virtual ranks.
+
+:mod:`repro.runtime.executor` is the *real* intra-process parallelism:
+pluggable executors (serial / worker-thread pool) that the time stepper
+maps its per-cell stage tasks over.
 """
 from .communicator import VirtualComm, CommLedger
+from .executor import (EXECUTORS, Executor, SerialExecutor,
+                       ThreadPoolExecutor, make_executor, register_executor)
 from .partition import block_partition, partition_by_morton
 from .parallel_sort import parallel_sample_sort
 from .spatial_hash import SpatialHash, morton_keys_3d, morton_decode_3d
@@ -19,6 +25,12 @@ from .spatial_hash import SpatialHash, morton_keys_3d, morton_decode_3d
 __all__ = [
     "VirtualComm",
     "CommLedger",
+    "Executor",
+    "SerialExecutor",
+    "ThreadPoolExecutor",
+    "EXECUTORS",
+    "make_executor",
+    "register_executor",
     "block_partition",
     "partition_by_morton",
     "parallel_sample_sort",

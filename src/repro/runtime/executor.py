@@ -1,0 +1,133 @@
+"""Pluggable executors for the per-cell stage pipeline.
+
+Every expensive stage of a time step — singular self-interaction
+reassembly, the tension/implicit factorize-and-solve, the per-source
+interaction sums, force evaluation — is independent across cells, so the
+stepper expresses each stage as ``executor.map(task, cells)`` and the
+policy of *how* that map runs lives here:
+
+- :class:`SerialExecutor` — a plain in-order loop; the default, and the
+  reference semantics every other executor must reproduce.
+- :class:`ThreadPoolExecutor` — a persistent worker-thread pool. The
+  per-cell tasks are numpy-GEMM-heavy (they release the GIL), so threads
+  scale the dense stages on multi-core hosts without any serialization.
+
+Determinism contract: :meth:`Executor.map` returns results ordered by
+input index, tasks touch disjoint per-cell state, and no executor ever
+accumulates across tasks — so the threaded schedule is *bit-identical*
+to the serial one regardless of worker count or interleaving. Callers
+that reduce over cells (e.g. the interaction backends) gather the mapped
+results first and fold them in fixed index order themselves.
+
+Select via :class:`repro.config.NumericsOptions` (``executor`` /
+``workers``) or construct directly with :func:`make_executor`.
+"""
+from __future__ import annotations
+
+import concurrent.futures
+from typing import Callable, ClassVar, Dict, Iterable, List, Type, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class Executor:
+    """Maps per-cell tasks over cell indices; results ordered by input.
+
+    Subclasses implement :meth:`map`. Tasks must be independent (they
+    may mutate only their own cell's state); exceptions raised by any
+    task propagate to the caller.
+    """
+
+    #: Registry key; subclasses registered via :func:`register_executor`.
+    name: ClassVar[str] = ""
+
+    def __init__(self, workers: int = 1):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers)
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release worker resources (idempotent; a no-op when none)."""
+
+    def options(self) -> dict:
+        """JSON-safe descriptor of this executor (for diagnostics)."""
+        return {"executor": self.name, "workers": self.workers}
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(workers={self.workers})"
+
+
+#: Registry of named executors (mirrors the interaction-backend registry).
+EXECUTORS: Dict[str, Type[Executor]] = {}
+
+
+def register_executor(cls: Type[Executor]) -> Type[Executor]:
+    """Class decorator adding an executor to the :data:`EXECUTORS` registry."""
+    if not cls.name:
+        raise ValueError(f"{cls.__name__} must define a non-empty name")
+    EXECUTORS[cls.name] = cls
+    return cls
+
+
+def make_executor(name: str, workers: int = 1) -> Executor:
+    """Instantiate a registered executor by name."""
+    try:
+        cls = EXECUTORS[name]
+    except KeyError:
+        raise ValueError(f"unknown executor {name!r}; "
+                         f"registered: {sorted(EXECUTORS)}") from None
+    return cls(workers=workers)
+
+
+@register_executor
+class SerialExecutor(Executor):
+    """In-order single-thread execution (the reference semantics)."""
+
+    name = "serial"
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        return [fn(x) for x in items]
+
+
+@register_executor
+class ThreadPoolExecutor(Executor):
+    """Worker-thread pool over a persistent ``concurrent.futures`` pool.
+
+    All tasks are submitted up front and gathered by submission index,
+    so results are ordered (and bit-identical to serial) no matter how
+    the pool interleaves them. The pool is created lazily on first use
+    and its idle threads exit when the executor is garbage collected, so
+    short-lived simulations do not leak threads.
+    """
+
+    name = "thread"
+
+    def __init__(self, workers: int = 2):
+        super().__init__(workers=workers)
+        self._pool: concurrent.futures.ThreadPoolExecutor | None = None
+
+    def _ensure_pool(self) -> concurrent.futures.ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = concurrent.futures.ThreadPoolExecutor(
+                max_workers=self.workers,
+                thread_name_prefix="repro-cell")
+        return self._pool
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        items = list(items)
+        if len(items) <= 1:
+            # Nothing to overlap; skip the submission round-trip.
+            return [fn(x) for x in items]
+        pool = self._ensure_pool()
+        futures = [pool.submit(fn, x) for x in items]
+        # result() re-raises task exceptions; gather strictly by index.
+        return [f.result() for f in futures]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None

@@ -172,6 +172,22 @@ class SpectralSurface:
                 np.moveaxis(self.X, -1, 0))
         return self._coeffs
 
+    def seed_coeffs(self, coeffs: np.ndarray) -> None:
+        """Install externally computed SH coefficients of the positions.
+
+        Used by :class:`repro.core.cellbatch.CellBatch`, which transforms
+        all same-order cells' coordinates in one stacked forward SHT and
+        scatters the results here, so :meth:`coeffs` never recomputes
+        them per cell. The coefficients must describe the *current*
+        positions; only the shape is validated.
+        """
+        coeffs = np.asarray(coeffs)
+        expected = (3, self.order + 1, 2 * self.order + 1)
+        if coeffs.shape != expected:
+            raise ValueError(f"expected coefficients of shape {expected}, "
+                             f"got {coeffs.shape}")
+        self._coeffs = coeffs
+
     def set_positions(self, positions: np.ndarray) -> None:
         """Update the surface (invalidates cached geometry)."""
         positions = np.asarray(positions, dtype=float)

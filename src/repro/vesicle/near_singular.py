@@ -80,12 +80,21 @@ class CellNearEvaluator:
         Order of the fine grid used for smooth quadrature (default 2p).
     check_order:
         Number of interpolation nodes (closest point + check points).
+    farfield_dtype:
+        ``"float32"`` evaluates the smooth *far* quadrature (the bulk
+        :func:`stokes_slp_apply` over the fine grid) in single
+        precision; the near scheme — singular on-surface values, check
+        points, interpolation — always stays float64.
     """
 
     def __init__(self, surface: SpectralSurface, viscosity: float = 1.0,
-                 upsample_order: Optional[int] = None, check_order: int = 6):
+                 upsample_order: Optional[int] = None, check_order: int = 6,
+                 farfield_dtype: str = "float64"):
         self.surface = surface
         self.viscosity = viscosity
+        self.farfield_dtype = str(farfield_dtype)
+        self._far_dtype = (None if self.farfield_dtype == "float64"
+                           else self.farfield_dtype)
         p = surface.order
         self.up_order = upsample_order or 2 * p
         self.check_order = check_order
@@ -324,7 +333,7 @@ class CellNearEvaluator:
         fw = (fine_weighted if fine_weighted is not None
               else self.weighted_fine_density(density))
         out = stokes_slp_apply(self._fine.points, fw.reshape(-1, 3), targets,
-                               self.viscosity)
+                               self.viscosity, dtype=self._far_dtype)
         near, seeds = self._near_scan(targets)
         if near.size:
             out[near] = self._near_values(density, fw, targets[near], seeds)

@@ -183,6 +183,61 @@ class TestAmortizedSelfOpRefresh:
         exact = SingularSelfInteraction(ref).matrix
         assert np.abs(op.matrix - exact).max() <= 1e-12 * np.abs(exact).max()
 
+    def test_rigid_rotation_is_corrected_exactly(self):
+        """The Kabsch + kernel-conjugation term makes the intermediate
+        refresh exact for rigid rotations (the deviatoric-refresh item):
+        the corrected operator matches a fresh assembly on the rotated
+        geometry to roundoff."""
+        s = biconcave_rbc(1.0, order=6)
+        op = SingularSelfInteraction(s, refresh_interval=10)
+        th = 0.35
+        R = np.array([[np.cos(th), -np.sin(th), 0.0],
+                      [np.sin(th), np.cos(th), 0.0],
+                      [0.0, 0.0, 1.0]])
+        c = s.centroid()
+        s.set_positions(((s.points - c) @ R.T + c).reshape(s.X.shape))
+        assert op.refresh() is False        # intermediate, corrected
+        ref = biconcave_rbc(1.0, order=6)
+        cr = ref.centroid()
+        ref.set_positions(((ref.points - cr) @ R.T + cr).reshape(ref.X.shape))
+        exact = SingularSelfInteraction(ref).matrix
+        assert np.abs(op.matrix - exact).max() <= 1e-12 * np.abs(exact).max()
+
+    def test_similarity_motion_is_corrected_exactly(self):
+        """Rotation + translation + dilation composed: still exact."""
+        s = biconcave_rbc(1.0, order=5)
+        op = SingularSelfInteraction(s, refresh_interval=10)
+        th = -0.2
+        R = np.array([[1.0, 0.0, 0.0],
+                      [0.0, np.cos(th), -np.sin(th)],
+                      [0.0, np.sin(th), np.cos(th)]])
+        c = s.centroid()
+        moved = 1.07 * ((s.points - c) @ R.T) + c + np.array([0.3, -0.1, 0.2])
+        s.set_positions(moved.reshape(s.X.shape))
+        op.refresh()
+        ref = biconcave_rbc(1.0, order=5)
+        ref.set_positions(moved.reshape(ref.X.shape))
+        exact = SingularSelfInteraction(ref).matrix
+        assert np.abs(op.matrix - exact).max() <= 1e-11 * np.abs(exact).max()
+
+    def test_subthreshold_rotation_keeps_scale_only_correction(self):
+        """Below the KABSCH_MIN_ANGLE gate (the deformation-noise regime
+        of non-tumbling cells) the correction must stay the exact
+        closed-form rescale — preserving the translation-dominated
+        behavior the frozen factorized solvers were built against."""
+        s = biconcave_rbc(1.0, order=5)
+        op = SingularSelfInteraction(s, refresh_interval=10)
+        ref_matrix = op.matrix.copy()
+        th = 1e-4                           # << KABSCH_MIN_ANGLE
+        R = np.array([[np.cos(th), -np.sin(th), 0.0],
+                      [np.sin(th), np.cos(th), 0.0],
+                      [0.0, 0.0, 1.0]])
+        c = s.centroid()
+        s.set_positions(((s.points - c) @ R.T + c).reshape(s.X.shape))
+        op.refresh()
+        scale = np.sqrt(s.area() / op._ref_area)
+        assert np.array_equal(op.matrix, scale * ref_matrix)
+
     def test_full_refresh_cycle(self):
         s = biconcave_rbc(1.0, order=6)
         op = SingularSelfInteraction(s, refresh_interval=3)

@@ -1,0 +1,253 @@
+"""The CellBatch execution layer: pluggable executors, the
+structure-of-arrays batching of per-cell stages, and the float32
+far-field mode."""
+import numpy as np
+import pytest
+
+from repro.config import NumericsOptions, ReproConfig
+from repro.core.cellbatch import CellBatch
+from repro.core.simulation import Simulation
+from repro.physics.terms import Bending, Gravity, Tension
+from repro.runtime.executor import (EXECUTORS, SerialExecutor,
+                                    ThreadPoolExecutor, make_executor)
+from repro.surfaces import biconcave_rbc, ellipsoid
+from repro.vesicle import CellNearEvaluator, SingularSelfInteraction
+
+
+def _scene(ncells=2, order=6, orders=None, **numopts):
+    orders = orders or [order] * ncells
+    cells = [biconcave_rbc(1.0, center=(2.4 * i, 0.0, 0.15 * (-1.0) ** i),
+                           order=p) for i, p in enumerate(orders)]
+    cfg = ReproConfig(dt=0.05,
+                      forces=[Bending(0.01), Tension(),
+                              Gravity(0.5, (0.0, 0.0, -1.0))],
+                      backend="direct", with_collisions=True,
+                      numerics=NumericsOptions(**numopts))
+    return Simulation(cells, config=cfg)
+
+
+def _max_dev(a, b):
+    return max(np.abs(x.X - y.X).max() for x, y in zip(a.cells, b.cells))
+
+
+class TestExecutors:
+    def test_registry_and_factory(self):
+        assert set(EXECUTORS) >= {"serial", "thread"}
+        ex = make_executor("thread", workers=3)
+        assert isinstance(ex, ThreadPoolExecutor) and ex.workers == 3
+        with pytest.raises(ValueError):
+            make_executor("gpu")
+        with pytest.raises(ValueError):
+            make_executor("thread", workers=0)
+
+    def test_maps_preserve_order(self):
+        items = list(range(20))
+        fn = lambda x: x * x
+        serial = SerialExecutor().map(fn, items)
+        pool = ThreadPoolExecutor(workers=4)
+        try:
+            assert pool.map(fn, items) == serial == [x * x for x in items]
+        finally:
+            pool.close()
+
+    def test_thread_map_propagates_exceptions(self):
+        pool = ThreadPoolExecutor(workers=2)
+
+        def boom(x):
+            if x == 3:
+                raise RuntimeError("task 3 failed")
+            return x
+
+        try:
+            with pytest.raises(RuntimeError, match="task 3"):
+                pool.map(boom, range(6))
+        finally:
+            pool.close()
+
+    def test_close_is_idempotent(self):
+        pool = ThreadPoolExecutor(workers=2)
+        pool.map(lambda x: x, range(4))
+        pool.close()
+        pool.close()
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="executor"):
+            ReproConfig(numerics=NumericsOptions(executor="gpu"))
+        with pytest.raises(ValueError, match="workers"):
+            ReproConfig(numerics=NumericsOptions(workers=0))
+        with pytest.raises(ValueError, match="farfield_dtype"):
+            ReproConfig(numerics=NumericsOptions(farfield_dtype="float16"))
+        cfg = ReproConfig(numerics=NumericsOptions(
+            executor="thread", workers=2, farfield_dtype="float32"))
+        assert ReproConfig.from_dict(cfg.to_dict()) == cfg
+
+
+class TestCellBatch:
+    def test_groups_by_order(self):
+        cells = [ellipsoid(1.0, 1.0, 1.2, order=4),
+                 biconcave_rbc(1.0, order=6),
+                 ellipsoid(1.0, 1.1, 0.9, order=4)]
+        batch = CellBatch(cells)
+        assert not batch.homogeneous
+        assert batch.groups == [(4, [0, 2]), (6, [1])]
+        assert CellBatch(cells[:1]).homogeneous
+        stacked = batch.stacked_positions()
+        assert stacked[4].shape == (2, 5, 10, 3)
+
+    def test_seed_coeffs_matches_per_cell_forward(self):
+        cells = [biconcave_rbc(1.0, center=(2.4 * i, 0, 0), order=6)
+                 for i in range(3)] + [ellipsoid(1.0, 1.2, 0.8, order=4)]
+        ref = [c.coeffs().copy() for c in
+               [biconcave_rbc(1.0, center=(2.4 * i, 0, 0), order=6)
+                for i in range(3)] + [ellipsoid(1.0, 1.2, 0.8, order=4)]]
+        batch = CellBatch(cells)
+        batch.seed_coeffs()
+        for c, r in zip(cells, ref):
+            assert c._coeffs is not None
+            scale = np.abs(r).max()
+            assert np.abs(c.coeffs() - r).max() <= 1e-12 * scale
+
+    def test_seed_coeffs_validates_shape(self):
+        s = ellipsoid(1.0, 1.0, 1.2, order=4)
+        with pytest.raises(ValueError):
+            s.seed_coeffs(np.zeros((3, 4, 9)))
+
+    def test_apply_matrices_matches_per_cell(self):
+        """The stacked-GEMM homogeneous path equals per-cell GEMVs."""
+        rng = np.random.default_rng(11)
+        cells = [biconcave_rbc(1.0, center=(2.4 * i, 0, 0), order=5)
+                 for i in range(3)] + [ellipsoid(1.0, 1.2, 0.8, order=4)]
+        ops = [SingularSelfInteraction(c) for c in cells]
+        vecs = [rng.standard_normal(3 * c.n_points) for c in cells]
+        batch = CellBatch(cells)
+        got = batch.apply_matrices([op.matrix for op in ops], vecs)
+        for op, v, g in zip(ops, vecs, got):
+            ref = op.matrix @ v
+            assert np.abs(g - ref).max() <= 1e-12 * max(1.0, np.abs(ref).max())
+
+    def test_apply_matrices_identity_passthrough(self):
+        cells = [ellipsoid(1.0, 1.0, 1.2, order=4) for _ in range(2)]
+        batch = CellBatch(cells)
+        vecs = [np.arange(3.0 * c.n_points) for c in cells]
+        M = np.eye(3 * cells[0].n_points) * 2.0
+        out = batch.apply_matrices([None, M], vecs)
+        assert np.array_equal(out[0], vecs[0])
+        assert np.allclose(out[1], 2.0 * vecs[1])
+
+    def test_apply_matrices_rejects_length_mismatch(self):
+        batch = CellBatch([ellipsoid(1.0, 1.0, 1.2, order=4)])
+        with pytest.raises(ValueError):
+            batch.apply_matrices([], [np.zeros(3)])
+
+
+class TestExecutorEquivalence:
+    def test_threaded_bit_identical_on_reference_scene(self):
+        """Acceptance: the threaded executor is bit-identical to serial
+        on the 6-cell order-8 scene over 5 steps."""
+        serial = _scene(ncells=6, order=8)
+        threaded = _scene(ncells=6, order=8, executor="thread", workers=4)
+        serial.run(5)
+        threaded.run(5)
+        assert _max_dev(serial, threaded) == 0.0
+        assert [r.implicit_iterations for r in serial.history] == \
+            [r.implicit_iterations for r in threaded.history]
+
+    def test_single_worker_threadpool_matches_serial(self):
+        serial = _scene()
+        pool1 = _scene(executor="thread", workers=1)
+        serial.run(3)
+        pool1.run(3)
+        assert _max_dev(serial, pool1) == 0.0
+
+    def test_mixed_order_scene_grouping(self):
+        """Heterogeneous scenes group by order (two stacked GEMMs) and
+        stay deterministic under threading."""
+        serial = _scene(ncells=3, orders=[6, 5, 6])
+        assert serial.stepper.batch.groups == [(5, [1]), (6, [0, 2])]
+        threaded = _scene(ncells=3, orders=[6, 5, 6],
+                          executor="thread", workers=3)
+        serial.run(3)
+        threaded.run(3)
+        assert _max_dev(serial, threaded) == 0.0
+
+    def test_treecode_backend_threaded_matches_serial(self):
+        cells = [biconcave_rbc(1.0, center=(2.4 * i, 0.0, 0.0), order=5)
+                 for i in range(3)]
+        cfg = dict(dt=0.05, forces=[Bending(0.01)], backend="treecode",
+                   with_collisions=False)
+        a = Simulation([c.translated(0) for c in cells],
+                       config=ReproConfig(**cfg))
+        b = Simulation([c.translated(0) for c in cells],
+                       config=ReproConfig(
+                           **cfg, numerics=NumericsOptions(
+                               executor="thread", workers=2)))
+        a.run(2)
+        b.run(2)
+        assert _max_dev(a, b) == 0.0
+
+
+class TestFarfieldFloat32:
+    def test_evaluator_far_field_accuracy(self):
+        rng = np.random.default_rng(3)
+        s = biconcave_rbc(1.0, order=6)
+        den = rng.standard_normal((s.grid.nlat, s.grid.nphi, 3))
+        trg = rng.standard_normal((200, 3)) * 0.5 + np.array([4.0, 0, 0])
+        ref = CellNearEvaluator(s).evaluate(den, trg)
+        got = CellNearEvaluator(s, farfield_dtype="float32").evaluate(den, trg)
+        rel = np.abs(got - ref).max() / np.abs(ref).max()
+        assert 0.0 < rel <= 1e-5        # float32 used, accuracy preserved
+
+    def test_near_path_stays_float64(self):
+        """Near targets go through the near scheme, which is identical in
+        both modes."""
+        rng = np.random.default_rng(4)
+        s = biconcave_rbc(1.0, order=6)
+        den = rng.standard_normal((s.grid.nlat, s.grid.nphi, 3))
+        ev64 = CellNearEvaluator(s)
+        ev32 = CellNearEvaluator(s, farfield_dtype="float32")
+        g = s.geometry()
+        trg = (s.points + 0.3 * ev64.h * g.normal.reshape(-1, 3))[::7]
+        assert ev64.near_target_indices(trg).size == trg.shape[0]
+        ref = ev64.evaluate(den, trg)
+        got = ev32.evaluate(den, trg)
+        assert np.array_equal(ref, got)
+
+    def test_treecode_equivalent_sums_accuracy(self):
+        from repro.fmm import KernelIndependentTreecode
+        rng = np.random.default_rng(5)
+        src = rng.standard_normal((500, 3))
+        den = rng.standard_normal((500, 3))
+        trg = rng.standard_normal((100, 3)) + np.array([12.0, 0, 0])
+        t64 = KernelIndependentTreecode(src, den, "stokes_slp")
+        t32 = KernelIndependentTreecode(src, den, "stokes_slp",
+                                        farfield_dtype="float32")
+        ref = t64.evaluate(trg)
+        got = t32.evaluate(trg)
+        rel = np.abs(got - ref).max() / np.abs(ref).max()
+        assert 0.0 < rel <= 1e-5
+
+    def test_trajectory_accuracy_vs_float64(self):
+        exact = _scene()
+        fast = _scene(farfield_dtype="float32")
+        exact.run(3)
+        fast.run(3)
+        dev = _max_dev(exact, fast)
+        assert 0.0 < dev <= 1e-4        # far field engaged, error bounded
+
+    def test_degenerate_cloud_stays_finite(self):
+        """A single source coincident with the target must give exactly
+        zero in float32 too (the inv_r^3 overflow guard)."""
+        from repro.kernels import stokes_slp_apply
+        p = np.array([[1.0, 1.0, 1.0]])
+        den = np.array([[1.0, 0.0, 0.0]])
+        out = stokes_slp_apply(p, den, p, dtype="float32")
+        assert np.array_equal(out, np.zeros((1, 3)))
+
+    def test_prebound_dtype_mismatch_raises(self):
+        from repro.core.interactions import DirectBackend
+        cells = [biconcave_rbc(1.0, order=5)]
+        be = DirectBackend().bind(cells, 1.0)    # float64 default
+        cfg = ReproConfig(with_collisions=False, forces=[Bending(0.01)],
+                          numerics=NumericsOptions(farfield_dtype="float32"))
+        with pytest.raises(ValueError, match="farfield_dtype"):
+            Simulation(cells, config=cfg, backend=be)
