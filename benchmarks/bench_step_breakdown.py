@@ -22,6 +22,16 @@ Run:  PYTHONPATH=src python benchmarks/bench_step_breakdown.py
 
 ``--reduced`` runs a 2-cell order-6 variant for CI smoke runs; ``--all``
 runs both variants into one file (the committed-baseline format).
+
+Each scene also records a ``selfop_assembly`` section: the median
+wall-clock of one *full reassembly* of every cell's singular
+self-interaction operator under the fused route (per cell, as the
+stepper runs it in ``selfop_assembly="fused"``) and under the
+block-circulant route (stacked over the same-order group, as the stepper
+runs it at the default ``"auto"``), plus their ratio. The regression
+gate additionally checks both the circulant row's absolute time and the
+fused/circulant speedup ratio against the committed baseline, so the
+>= 2x advantage the circulant assembly was landed for stays pinned.
 ``--workers N`` adds a threaded-executor row per scene (default
 numerics on the ``"thread"`` executor with N workers) and records its
 trajectory deviation against the serial run — the executor contract
@@ -36,15 +46,18 @@ from __future__ import annotations
 
 import argparse
 import json
+import statistics
 import sys
 import time
 
 import numpy as np
 
 from repro.config import NumericsOptions, ReproConfig
+from repro.core.cellbatch import CellBatch
 from repro.core.simulation import Simulation
 from repro.physics.terms import Bending, Gravity, Tension
 from repro.surfaces import biconcave_rbc
+from repro.vesicle import SingularSelfInteraction
 
 #: ms/step measured for this scene at the end of PR 1 (DirectBackend,
 #: evaluator caching in place but the per-call synthesis hot loops
@@ -79,13 +92,9 @@ AMORTIZED_INTERVAL = 4
 def build_scene(order: int = 8, ncells: int = 6,
                 selfop_refresh_interval: int = 1,
                 executor: str = "serial", workers: int = 1) -> Simulation:
-    """The reference scene: ``ncells`` RBCs on a close-packed lattice."""
-    spacing = 2.4  # equatorial radius 1.0 -> neighbours inside the near zone
-    cells = []
-    for k in range(ncells):
-        i, j = divmod(k, 2)
-        center = (spacing * i, spacing * j, 0.15 * (-1.0) ** k)
-        cells.append(biconcave_rbc(1.0, center=center, order=order))
+    """The reference scene: ``ncells`` RBCs on a close-packed lattice
+    (spacing 2.4: equatorial radius 1.0 -> neighbours in the near zone)."""
+    cells = _scene_cells(order, ncells)
     cfg = ReproConfig(dt=0.05, viscosity=1.0,
                       forces=[Bending(0.01), Tension(),
                               Gravity(0.5, (0.0, 0.0, -1.0))],
@@ -94,6 +103,48 @@ def build_scene(order: int = 8, ncells: int = 6,
                           selfop_refresh_interval=selfop_refresh_interval,
                           executor=executor, workers=workers))
     return Simulation(cells, config=cfg)
+
+
+def _scene_cells(order: int, ncells: int):
+    spacing = 2.4
+    return [biconcave_rbc(
+        1.0, center=(spacing * (k // 2), spacing * (k % 2),
+                     0.15 * (-1.0) ** k), order=order)
+        for k in range(ncells)]
+
+
+def bench_selfop_assembly(order: int, ncells: int, reps: int = 9) -> dict:
+    """Median full-reassembly time of the scene's self-operators per
+    assembly route (the ``full``-refresh component the amortization
+    interval spreads out; the dominant per-step cost before PR 5)."""
+    cells = _scene_cells(order, ncells)
+    fused = [SingularSelfInteraction(c, assembly="fused") for c in cells]
+    circ = [SingularSelfInteraction(c, assembly="circulant") for c in cells]
+    batch = CellBatch(cells)
+
+    def timed(fn):
+        samples = []
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            fn()
+            samples.append(1e3 * (time.perf_counter() - t0))
+        return round(statistics.median(samples), 2)
+
+    def circulant_pass():
+        # the stepper's default path: one stacked assembly per
+        # same-order group, consumed by the per-cell refreshes
+        batch.assemble_selfops(circ, range(ncells))
+        for op in circ:
+            op.refresh(full=True)
+
+    fused_ms = timed(lambda: [op.refresh(full=True) for op in fused])
+    circulant_ms = timed(circulant_pass)
+    return {
+        "reps": reps,
+        "fused_ms": fused_ms,
+        "circulant_ms": circulant_ms,
+        "speedup_vs_fused": round(fused_ms / circulant_ms, 2),
+    }
 
 
 def _timed_run(order: int, ncells: int, steps: int, interval: int,
@@ -128,6 +179,7 @@ def run_scene(steps: int, reduced: bool, workers: int = 0) -> dict:
             "max_traj_deviation_vs_default": deviation,
         },
         "final_centroids": [c.centroid().tolist() for c in sim.cells],
+        "selfop_assembly": bench_selfop_assembly(order, ncells),
     }
     if workers > 0:
         sim_t, ms_t, breakdown_t = _timed_run(order, ncells, steps, 1,
@@ -191,6 +243,34 @@ def check_against(result: dict, baseline_path: str,
               f"{'OK' if ok else 'REGRESSION'}")
         if not ok:
             failures.append(key)
+        sa, sa_base = run_.get("selfop_assembly"), base.get("selfop_assembly")
+        if sa is not None and sa_base is not None:
+            limit = tolerance * sa_base["circulant_ms"]
+            ok = sa["circulant_ms"] <= limit
+            print(f"[check] {key} circulant assembly: "
+                  f"{sa['circulant_ms']:.1f} ms vs baseline "
+                  f"{sa_base['circulant_ms']:.1f} (limit {limit:.1f}) "
+                  f"{'OK' if ok else 'REGRESSION'}")
+            if not ok:
+                failures.append(f"{key}:selfop_assembly")
+            # the ratio pins the advantage the circulant route was landed
+            # for directly, but it divides two noisy timings, so its
+            # floor gets *squared* tolerance headroom (anticorrelated
+            # noise within each row's own 25% limit moves the ratio by up
+            # to ~tolerance^2) and is enforced only where the baseline
+            # advantage exceeds the tolerance (on the reduced smoke scene
+            # the routes are within ~25% of each other, so a floor would
+            # degenerate to "never tie" and flake on loaded CI runners)
+            if sa_base["speedup_vs_fused"] > tolerance:
+                floor = sa_base["speedup_vs_fused"] / tolerance ** 2
+                ok = sa["speedup_vs_fused"] >= floor
+                print(f"[check] {key} circulant-vs-fused advantage: "
+                      f"{sa['speedup_vs_fused']:.2f}x vs baseline "
+                      f"{sa_base['speedup_vs_fused']:.2f}x "
+                      f"(floor {floor:.2f}x) "
+                      f"{'OK' if ok else 'REGRESSION'}")
+                if not ok:
+                    failures.append(f"{key}:selfop_speedup")
     return 1 if failures else 0
 
 
@@ -229,6 +309,11 @@ def main() -> None:
             print(f"threaded[{key}] workers={threaded['workers']}: "
                   f"{threaded['ms_per_step']:.0f} ms/step, deviation vs "
                   f"serial {threaded['max_traj_deviation_vs_serial']:.1e}")
+        sa = run_.get("selfop_assembly")
+        if sa is not None:
+            print(f"selfop assembly[{key}]: fused {sa['fused_ms']:.1f} ms, "
+                  f"circulant {sa['circulant_ms']:.1f} ms "
+                  f"({sa['speedup_vs_fused']:.2f}x)")
     if args.check_against:
         sys.exit(check_against(result, args.check_against, args.tolerance))
 

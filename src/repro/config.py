@@ -84,6 +84,25 @@ class NumericsOptions:
     #: last assembled operator. ``1`` (the default) reassembles every step,
     #: i.e. the exact per-step behavior.
     selfop_refresh_interval: int = 1
+    #: Full-reassembly route of the singular self-interaction operator.
+    #: ``"circulant"`` is the FFT-diagonalized block-circulant assembly:
+    #: exact for arbitrary shapes, ~2x faster than the fused route at
+    #: order 8 and free of the fused table's memory gate, so it is what
+    #: ``"auto"`` (the default) currently always picks — orders 12+ are
+    #: practical only on this route. ``"fused"`` keeps the per-target
+    #: fused assembly of PR 3 (with its size-gated table) as the
+    #: independently-implemented reference; all routes agree to ~1e-12
+    #: (pinned by ``tests/test_selfop_equivalence.py``). Under ``"auto"``
+    #: / ``"circulant"`` the stepper additionally runs the full
+    #: reassemblies of same-order cell groups as one *stacked* assembly
+    #: (``CellBatch.assemble_selfops``).
+    selfop_assembly: str = "auto"
+    #: Stack the per-cell direct-solve factorizations (tension Schur,
+    #: implicit ``I - dt S L``) of equal-order cell groups into one
+    #: ``(ncell, N, N)`` getrf/getrs pass instead of one LAPACK call per
+    #: cell (bit-identical solutions — same getrf/getrs on the same
+    #: matrices; tested). ``False`` restores the per-cell calls.
+    batched_lu: bool = True
     #: Solve the tension Schur complement with a per-refresh LU
     #: factorization of the assembled dense operator (one back-substitution
     #: per solve) instead of the inner GMRES loop. The two paths agree to
@@ -204,6 +223,12 @@ class ReproConfig:
             if n.selfop_refresh_interval < 1:
                 errors.append("selfop_refresh_interval must be >= 1, got "
                               f"{n.selfop_refresh_interval}")
+            from .vesicle import SingularSelfInteraction
+            if n.selfop_assembly not in SingularSelfInteraction.ASSEMBLY_MODES:
+                errors.append(
+                    f"unknown selfop_assembly {n.selfop_assembly!r}; "
+                    f"expected one of "
+                    f"{SingularSelfInteraction.ASSEMBLY_MODES}")
             from .runtime.executor import EXECUTORS
             if n.executor not in EXECUTORS:
                 errors.append(f"unknown executor {n.executor!r}; "

@@ -23,8 +23,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..linalg import StackedLUFactorization
 from ..sph import get_transform
 from ..surfaces import SpectralSurface
+from ..vesicle.self_interaction import assemble_circulant
 
 
 class CellBatch:
@@ -80,6 +82,65 @@ class CellBatch:
             coeffs = T.forward(fields)
             for slot, i in enumerate(todo):
                 self.cells[i].seed_coeffs(coeffs[slot])
+
+    # -- stacked self-interaction reassembly -------------------------------
+    def assemble_selfops(self, ops: Sequence, due: Sequence[int]) -> None:
+        """Stacked block-circulant reassembly of the ``due`` cells'
+        singular self-interaction operators.
+
+        Cells sharing rotation tables (same order/upsample pair) and
+        viscosity are assembled in one
+        :func:`repro.vesicle.assemble_circulant` call — the per-ring
+        GEMMs and inverse azimuthal transforms carry a leading cell axis
+        instead of re-dispatching per cell — and the slices are handed
+        to each operator via
+        :meth:`~repro.vesicle.SingularSelfInteraction.install_full`; the
+        cells' next policy-driven ``refresh()`` consumes the installed
+        state. A stacked slice equals the per-cell assembly to
+        floating-point roundoff (same batched kernels on the same data;
+        <= 1e-16 tested), and the stacking is deterministic, so threaded
+        runs stay bit-identical to serial. Callers must pass only cells
+        that are *due* a full reassembly at the current geometry, on
+        operators in ``"circulant"`` assembly mode.
+        """
+        groups: Dict[tuple, List[int]] = {}
+        for i in due:
+            key = (id(ops[i].tables), float(ops[i].viscosity))
+            groups.setdefault(key, []).append(i)
+        for idx in groups.values():
+            surfs = [self.cells[i] for i in idx]
+            op0 = ops[idx[0]]
+            M, X_rot, w_rot = assemble_circulant(op0.tables, surfs,
+                                                 op0.viscosity)
+            for slot, i in enumerate(idx):
+                ops[i].install_full(M[slot], X_rot[slot], w_rot[slot])
+
+    # -- stacked direct-solve factorization --------------------------------
+    def factorize_lu(self, matrices: Sequence[Optional[np.ndarray]]
+                     ) -> List[Optional[object]]:
+        """Factorize per-cell dense operators as stacked equal-order
+        groups.
+
+        ``matrices[i]`` is cell ``i``'s square system (or ``None`` for
+        cells with nothing to factorize this step). Same-order groups
+        share operator shape, so each group becomes one
+        :class:`repro.linalg.StackedLUFactorization` — the getrf/getrs
+        calls run over one ``(k, n, n)`` buffer — and every cell gets
+        back a solve handle bit-identical to its own per-cell
+        ``LUFactorization`` (same LAPACK kernels on the same matrix).
+        """
+        if len(matrices) != len(self.cells):
+            raise ValueError(f"expected {len(self.cells)} matrices, got "
+                             f"{len(matrices)}")
+        out: List[Optional[object]] = [None] * len(self.cells)
+        for _, idx in self.groups:
+            live = [i for i in idx if matrices[i] is not None]
+            if not live:
+                continue
+            stacked = StackedLUFactorization([matrices[i] for i in live])
+            for slot, i in enumerate(live):
+                out[i] = stacked.handle(slot)
+        return out
 
     # -- batched per-cell operator application -----------------------------
     def apply_matrices(self, matrices: Sequence[Optional[np.ndarray]],

@@ -153,7 +153,8 @@ class TimeStepper:
         self._self_ops: list[SingularSelfInteraction] = [
             SingularSelfInteraction(
                 c, viscosity=self.viscosity,
-                refresh_interval=self.options.selfop_refresh_interval)
+                refresh_interval=self.options.selfop_refresh_interval,
+                assembly=self.options.selfop_assembly)
             for c in self.cells]
         self.sigmas: list[np.ndarray] = [
             np.zeros((c.grid.nlat, c.grid.nphi)) for c in self.cells]
@@ -319,10 +320,13 @@ class TimeStepper:
         refresh and the solve is a direct back-substitution; otherwise
         the matrix-free GMRES path runs.
 
-        Batched in two stages: the self-interaction applies of all
+        Batched in three stages: the self-interaction applies of all
         same-order cells collapse into one stacked GEMM (CellBatch),
-        then the per-cell factorize-and-solve tasks map over the
-        executor.
+        missing Schur factorizations are rebuilt — assembled as per-cell
+        executor tasks, then factorized as one stacked getrf pass per
+        equal-order group (``options.batched_lu``; bit-identical to the
+        per-cell factorizations) — and the per-cell solve tasks map over
+        the executor.
         """
         ncell = len(self.cells)
         f_bg = self.executor.map(
@@ -330,6 +334,8 @@ class TimeStepper:
             range(ncell))
         applied = self.batch.apply_matrices(
             [op.matrix for op in self._self_ops], f_bg)
+        if self.options.direct_tension and self.options.batched_lu:
+            self._ensure_tension_solvers()
 
         def task(i: int) -> np.ndarray:
             cell = self.cells[i]
@@ -346,7 +352,51 @@ class TimeStepper:
 
         self.sigmas = self.executor.map(task, range(ncell))
 
+    def _ensure_tension_solvers(self) -> None:
+        """Rebuild missing direct tension solvers with one stacked
+        factorization per equal-order group: the Schur systems are
+        assembled as independent per-cell executor tasks, gathered, and
+        getrf-factorized through ``CellBatch.factorize_lu``."""
+        ncell = len(self.cells)
+        todo = [i for i in range(ncell) if self._tension_solvers[i] is None]
+        if not todo:
+            return
+
+        def build(i: int):
+            solver = TensionSolver(self.cells[i], self._self_ops[i].apply)
+            return solver, solver.schur_system(self._self_ops[i].matrix)
+
+        built = self.executor.map(build, todo)
+        systems: list[Optional[np.ndarray]] = [None] * ncell
+        for (_, A), i in zip(built, todo):
+            systems[i] = A
+        handles = self.batch.factorize_lu(systems)
+        for (solver, _), i in zip(built, todo):
+            solver.install_factorization(handles[i])
+            self._tension_solvers[i] = solver
+
     # -- implicit update ----------------------------------------------------------
+    def _prepare_implicit(self, dt: float) -> None:
+        """Rebuild missing implicit factorizations ``I - dt S L`` with
+        one stacked getrf pass per equal-order group (mirrors
+        :meth:`_ensure_tension_solvers`): assembly fans out as per-cell
+        executor tasks, factorization runs stacked via
+        ``CellBatch.factorize_lu``."""
+        ncell = len(self.cells)
+        todo = [i for i in range(ncell) if self._impl_lu[i] is None]
+        if not todo:
+            return
+        built = self.executor.map(
+            lambda i: implicit_operator_matrix(
+                self.cells[i], self._self_ops[i].matrix, self.kappa, dt),
+            todo)
+        systems: list[Optional[np.ndarray]] = [None] * ncell
+        for (A, _, _), i in zip(built, todo):
+            systems[i] = A
+        handles = self.batch.factorize_lu(systems)
+        for (_, core, nrm), i in zip(built, todo):
+            self._impl_lu[i] = (dt, handles[i], core, nrm)
+
     def _implicit_update(self, i: int, b: np.ndarray, dt: float
                          ) -> tuple[np.ndarray, int]:
         """Solve X+ = X + dt (b + S_i f_i(X+)) with linearized bending.
@@ -402,6 +452,8 @@ class TimeStepper:
                     self._update_tensions(b)  # tensions folded via forces
 
             with self.timers.scope("Implicit"):
+                if self.options.direct_implicit and self.options.batched_lu:
+                    self._prepare_implicit(dt)
                 results = self.executor.map(
                     lambda i: self._implicit_update(i, b[i], dt),
                     range(len(self.cells)))
@@ -424,6 +476,13 @@ class TimeStepper:
             # coefficient cache before the per-cell refresh tasks (self-op
             # reassembly, evaluator rebuilds) fan out over the executor.
             self.batch.seed_coeffs()
+            # Cells due a full block-circulant reassembly this step are
+            # assembled as one stacked pass per same-order group; their
+            # refresh tasks below consume the installed operators.
+            due = [i for i, op in enumerate(self._self_ops)
+                   if op.assembly_mode == "circulant" and op.due_full()]
+            if len(due) > 1:
+                self.batch.assemble_selfops(self._self_ops, due)
             self.executor.map(self._refresh_after_step,
                               range(len(self.cells)))
         return StepReport(t=t, dt=dt, bie_iterations=bie_iters,

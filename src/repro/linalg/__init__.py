@@ -6,7 +6,8 @@ Section 5.1 of the paper, plus small helpers for block vector layouts.
 """
 from .gmres import GMRESResult, gmres
 from .blocks import flatten_fields, unflatten_fields
-from .dense import LUFactorization
+from .dense import (LUFactorization, StackedLUFactorization,
+                    StackedLUHandle)
 
 __all__ = ["gmres", "GMRESResult", "flatten_fields", "unflatten_fields",
-           "LUFactorization"]
+           "LUFactorization", "StackedLUFactorization", "StackedLUHandle"]

@@ -6,16 +6,31 @@ back-substituting per solve replaces the inner GMRES loops entirely. SciPy's
 LAPACK-backed ``lu_factor``/``lu_solve`` is used when available; the numpy
 fallback solves against the stored matrix directly (same results, no reuse
 of the factorization across solves).
+
+:class:`StackedLUFactorization` holds the factorizations of a whole
+equal-shape *batch* ``(k, n, n)`` — the per-cell operators of an
+equal-order cell group — in one stacked buffer, driving the same
+``getrf``/``getrs`` LAPACK kernels ``lu_factor``/``lu_solve`` wrap, so a
+stacked solve is bit-identical to ``k`` independent
+:class:`LUFactorization` solves while factor/solve dispatch happens once
+per group instead of once per cell.
 """
 from __future__ import annotations
+
+import warnings
+from typing import Sequence
 
 import numpy as np
 
 try:
     from scipy.linalg import lu_factor as _lu_factor, lu_solve as _lu_solve
+    from scipy.linalg import get_lapack_funcs as _get_lapack_funcs
+    from scipy.linalg import LinAlgWarning as _LinAlgWarning
 except ImportError:  # pragma: no cover - scipy is a standard dependency
     _lu_factor = None
     _lu_solve = None
+    _get_lapack_funcs = None
+    _LinAlgWarning = RuntimeWarning
 
 
 class LUFactorization:
@@ -39,3 +54,90 @@ class LUFactorization:
         if self._lu is not None:
             return _lu_solve(self._lu, rhs)
         return np.linalg.solve(self._matrix, rhs)
+
+
+class StackedLUFactorization:
+    """LU factorizations of an equal-shape batch of square operators.
+
+    The batch is factorized at construction from a ``(k, n, n)`` stack
+    (or a sequence of ``k`` matrices) with the same LAPACK ``getrf``
+    SciPy's ``lu_factor`` wraps, into one stacked ``(k, n, n)`` factor
+    buffer; solves run ``getrs`` per slice exactly like ``lu_solve``, so
+    every result is bit-identical to the corresponding per-cell
+    :class:`LUFactorization`. :meth:`handle` hands out a single-slice
+    view with the ``.solve`` interface of :class:`LUFactorization`, so
+    per-cell consumers (the factorized tension/implicit solvers) can
+    hold a slice of a group factorization without knowing about the
+    batch.
+
+    Without SciPy, mirrors :class:`LUFactorization`'s fallback: matrices
+    are stored and solves call ``numpy.linalg.solve`` per slice.
+    """
+
+    def __init__(self, matrices: np.ndarray | Sequence[np.ndarray]):
+        if not isinstance(matrices, np.ndarray):
+            matrices = np.stack([np.asarray(m, float) for m in matrices])
+        matrices = np.asarray(matrices, float)
+        if matrices.ndim != 3 or matrices.shape[1] != matrices.shape[2]:
+            raise ValueError("expected a (k, n, n) stack of square "
+                             f"matrices, got {matrices.shape}")
+        self.shape = matrices.shape
+        if _get_lapack_funcs is not None:
+            getrf, = _get_lapack_funcs(("getrf",), (matrices[0],))
+            self._lu = np.empty_like(matrices)
+            self._piv = np.empty(matrices.shape[:2], dtype=np.int32)
+            self._getrs = _get_lapack_funcs(("getrs",),
+                                            (matrices[0],))[0]
+            for i in range(matrices.shape[0]):
+                lu, piv, info = getrf(matrices[i])
+                if info > 0:
+                    # mirror scipy.linalg.lu_factor: warn and keep the
+                    # factorization (solves yield inf/nan), so flipping
+                    # batched_lu never changes whether a run completes
+                    warnings.warn(
+                        f"matrix {i} of the stack is singular "
+                        f"(U[{info - 1}, {info - 1}] is exactly zero); "
+                        "solves against it will produce inf/nan",
+                        _LinAlgWarning, stacklevel=2)
+                self._lu[i] = lu
+                self._piv[i] = piv
+            self._matrices = None
+        else:  # pragma: no cover - scipy is a standard dependency
+            self._lu = None
+            self._matrices = matrices.copy()
+
+    def __len__(self) -> int:
+        return self.shape[0]
+
+    def solve_one(self, i: int, rhs: np.ndarray) -> np.ndarray:
+        """Solve slice ``i``'s system (1-D rhs or stacked columns)."""
+        rhs = np.asarray(rhs, float)
+        if self._lu is not None:
+            x, info = self._getrs(self._lu[i], self._piv[i], rhs)
+            return x
+        return np.linalg.solve(self._matrices[i], rhs)
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve all systems against a ``(k, n)`` right-hand-side stack."""
+        rhs = np.asarray(rhs, float)
+        if rhs.shape[0] != self.shape[0]:
+            raise ValueError(f"expected {self.shape[0]} right-hand sides, "
+                             f"got {rhs.shape[0]}")
+        return np.stack([self.solve_one(i, rhs[i])
+                         for i in range(self.shape[0])])
+
+    def handle(self, i: int) -> "StackedLUHandle":
+        return StackedLUHandle(self, i)
+
+
+class StackedLUHandle:
+    """Single-slice view of a :class:`StackedLUFactorization` with the
+    ``.solve`` interface of :class:`LUFactorization`."""
+
+    def __init__(self, stacked: StackedLUFactorization, index: int):
+        self._stacked = stacked
+        self._index = index
+        self.shape = stacked.shape[1:]
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        return self._stacked.solve_one(self._index, rhs)

@@ -80,24 +80,42 @@ class TensionSolver:
         if self_matrix is not None:
             self.factorize(self_matrix)
 
+    def schur_system(self, self_matrix: np.ndarray) -> np.ndarray:
+        """The regularized dense system :meth:`solve` inverts at the
+        surface's *current* geometry.
+
+        The Schur operator is rank-deficient on the grid: the grid has
+        (p+1)(2p+2) points but band-limited fields span only (p+1)^2
+        modes, and both the operator's range and the right-hand side are
+        band-limited. Solving A P + (I - P) — on the band-limited
+        subspace this is A, on the complement the identity — reproduces
+        the unique band-limited solution the Krylov path converges to.
+        Split from :meth:`factorize` so the stepper can gather the
+        systems of an equal-order cell group and factorize them as one
+        stacked getrf pass (``NumericsOptions.batched_lu``).
+        """
+        P = bandlimit_projector(self.surface.order)
+        A = self.schur_matrix(self_matrix) @ P
+        A += np.eye(P.shape[0]) - P
+        return A
+
     def factorize(self, self_matrix: np.ndarray) -> None:
         """(Re)assemble and LU-factorize the Schur complement at the
         surface's *current* geometry.
 
         The per-cell factor-and-solve stage of the time stepper calls
         this as an independent batch task per cell after each operator
-        refresh. The Schur operator is rank-deficient on the grid: the
-        grid has (p+1)(2p+2) points but band-limited fields span only
-        (p+1)^2 modes, and both the operator's range and the right-hand
-        side are band-limited. Solve A P + (I - P) — on the band-limited
-        subspace this is A, on the complement the identity — which
-        reproduces the unique band-limited solution the Krylov path
-        converges to.
+        refresh (or assembles via :meth:`schur_system` and installs a
+        slice of a stacked group factorization instead).
         """
-        P = bandlimit_projector(self.surface.order)
-        A = self.schur_matrix(self_matrix) @ P
-        A += np.eye(P.shape[0]) - P
-        self._schur = LUFactorization(A)
+        self._schur = LUFactorization(self.schur_system(self_matrix))
+
+    def install_factorization(self, factorization) -> None:
+        """Adopt an externally built factorization of
+        :meth:`schur_system`'s matrix (anything with ``.solve(rhs)``,
+        e.g. a :class:`repro.linalg.StackedLUHandle` of a stacked
+        equal-order group factorization)."""
+        self._schur = factorization
 
     def _shape(self):
         return self.surface.grid.nlat, self.surface.grid.nphi

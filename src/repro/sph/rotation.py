@@ -72,6 +72,24 @@ def rotated_sphere_points_batch(theta0: np.ndarray, phi0: np.ndarray,
     return theta, phi
 
 
+def rotated_ring_points(theta0: float, psi: np.ndarray,
+                        alpha: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Rotated rule coordinates for the ``phi0 = 0`` target of a latitude
+    ring — the ring's one distinct geometry.
+
+    Rotations to the other targets of the same ring differ only by a
+    rotation about the polar axis: the target at longitude ``phi_t`` sees
+    the rule at ``(theta_r, phi_r + phi_t)`` with the *same* ``theta_r``
+    returned here. Consequences, both exploited by the singular
+    self-interaction tables: (a) rotated-synthesis matrices of a whole
+    ring differ only by per-``m`` phases ``exp(i m phi_t)``, and (b) the
+    composition (rotated synthesis, azimuthal shift, forward SHT) is
+    block-circulant in (target longitude, source longitude) and therefore
+    FFT-diagonalizable over the azimuthal index.
+    """
+    return rotated_sphere_points(theta0, 0.0, psi, alpha)
+
+
 def rotated_sphere_points(theta0: float, phi0: float,
                           psi: np.ndarray, alpha: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Spherical coordinates of rotated grid points.

@@ -146,6 +146,23 @@ class SHTransform:
         """Dense analysis operator: ``forward(f).ravel() == A @ f.ravel()``."""
         return self._tab.analysis_dense()
 
+    def analysis_latitude_matrix(self) -> np.ndarray:
+        """The latitude factor of the analysis operator (real).
+
+        The forward transform separates exactly into a longitude DFT and
+        a latitude contraction: on the flat ``(l, m)`` index,
+
+        ``A[(l, m), (j, s)] = A_lat[(l, m), j] exp(-i m phi_s) (2 pi / nphi)``
+
+        with ``A_lat`` real (quadrature-weighted associated Legendre
+        values, negative-``m`` sign convention folded in). Because the
+        longitudes are uniform, shifting the source column ``s`` by ``t``
+        equals multiplying row ``(l, m)`` by ``exp(i m phi_t)`` — the
+        azimuthal-shift structure the block-circulant self-interaction
+        assembly diagonalizes with FFTs. Shape ``((p+1)(2p+1), nlat)``.
+        """
+        return self._tab.A_lat
+
     def synthesis_matrix(self) -> np.ndarray:
         """Dense synthesis operator: ``inverse(c) == (S @ c.ravel()).real``."""
         return self._tab.synthesis_dense()

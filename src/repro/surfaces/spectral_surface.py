@@ -294,6 +294,31 @@ class SpectralSurface:
         V = self.volume()
         return 3.0 * np.sqrt(4.0 * np.pi) * V / A ** 1.5
 
+    def cylindrical_frames(self) -> np.ndarray:
+        """Orthonormal cylindrical component frames about the
+        parametrization's polar axis, shape ``(nlat, nphi, 3, 3)``.
+
+        Row ``k`` of the ``(3, 3)`` block at a grid point is the ``k``-th
+        frame vector ``(e_rho, e_phi, e_z)`` at that point's longitude
+        (the frame depends only on ``phi``, not on the actual surface
+        position). For a surface of revolution about the polar axis,
+        conjugating a grid operator into these frames per point makes it
+        block-circulant in the target longitude — the geometric limit of
+        the structure the block-circulant self-interaction assembly
+        exploits at the parametrization level for arbitrary shapes
+        (see :mod:`repro.vesicle.self_interaction`); the equivalence
+        suite pins that limit on a sphere.
+        """
+        grid = self.grid
+        cp, sp = np.cos(grid.phi), np.sin(grid.phi)
+        F = np.zeros((grid.nphi, 3, 3))
+        F[:, 0, 0] = cp
+        F[:, 0, 1] = sp
+        F[:, 1, 0] = -sp
+        F[:, 1, 1] = cp
+        F[:, 2, 2] = 1.0
+        return np.broadcast_to(F[None], (grid.nlat, grid.nphi, 3, 3)).copy()
+
     def quadrature_weights(self) -> np.ndarray:
         """Surface-quadrature weight of each grid point, shape (nlat, nphi).
 

@@ -7,7 +7,8 @@
   cells with near-singular correction by upsampling + check-point
   interpolation (paper's scheme of [28, 43]).
 """
-from .self_interaction import SingularSelfInteraction
+from .self_interaction import SingularSelfInteraction, assemble_circulant
 from .near_singular import CellNearEvaluator
 
-__all__ = ["SingularSelfInteraction", "CellNearEvaluator"]
+__all__ = ["SingularSelfInteraction", "CellNearEvaluator",
+           "assemble_circulant"]

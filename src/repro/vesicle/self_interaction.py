@@ -23,19 +23,56 @@ the cached rotated-synthesis matrices and composed with the dense forward
 SHT, after which every :meth:`~SingularSelfInteraction.apply` — called
 inside the tension solve, every implicit-GMRES matvec, and the NCP
 mobility — is a single GEMV.
+
+Two assembly routes produce that matrix. The *fused* route (PR 3)
+contracts a per-target synthesis/phase/SHT table. The *block-circulant*
+route exploits the azimuthal structure the uniform longitudes give both
+table factors exactly, for arbitrary (non-axisymmetric) shapes:
+
+- moving a target around its latitude ring rotates the quadrature rule
+  about the polar axis, so the ring's rotated-synthesis matrices differ
+  only by per-mode phases ``exp(i m phi_t)``
+  (:func:`repro.sph.rotation.rotated_ring_points`), and
+- the forward SHT factors into a latitude contraction times a uniform
+  longitude DFT (:meth:`repro.sph.SHTransform.analysis_latitude_matrix`),
+  so the target phase is an exact circular shift of the *source*
+  longitude: the composed (synthesis, phase, SHT) table is
+  block-circulant in (target longitude, source longitude).
+
+FFT-diagonalizing both pieces replaces the per-target work with
+``O(nlat)`` GEMMs against per-ring mode symbols plus batched inverse real
+FFTs: the rotated geometry of a whole ring is one per-mode GEMM and an
+inverse FFT over the target longitude, and the operator rows of a ring
+are one GEMM against the ``(nrot, (p+1) nlat)`` conjugate symbol, a
+diagonal target-phase multiply, and an inverse FFT over the source
+longitude. Only the pointwise Stokeslet kernel fields remain per-target
+(they carry the actual, generally non-axisymmetric geometry), which is
+why the route is exact. The per-ring symbol replaces the
+``(nlat, nphi, N, nrot)`` fused table with ``(nlat, nrot, (p+1) nlat)``
+— smaller by the ``2p+2`` target longitudes — lifting the
+``FUSED_TABLE_BUDGET`` memory gate that stops the fused table at order
+~10. (In cylindrical vector components about the polar axis the full
+operator of a surface of revolution is itself block-circulant in the
+target longitude; the equivalence suite demonstrates that limit, but the
+assembly here only relies on the parametrization-level circulance, which
+is exact for every shape.)
 """
 from __future__ import annotations
 
+import logging
 import threading
 from functools import lru_cache
+from typing import Sequence
 
 import numpy as np
 
 from ..quadrature import gauss_legendre
 from ..sph.alp import normalized_alp_theta_derivative
 from ..sph.grid import get_grid
-from ..sph.rotation import rotated_sphere_points
+from ..sph.rotation import rotated_ring_points
 from ..surfaces import SpectralSurface
+
+_log = logging.getLogger(__name__)
 
 _POLE_GUARD = 1e-7
 
@@ -61,9 +98,13 @@ def pack_coeffs(c: np.ndarray) -> np.ndarray:
     return c[..., ls, p + ms]
 
 
-@lru_cache(maxsize=8)
 class _RotationTables:
-    """Per-(p, q_rot) cached rotation quadrature machinery."""
+    """Per-(p, q_rot) rotation quadrature machinery.
+
+    Instances are shared through the :func:`_rotation_tables` factory
+    cache (a plain class here — not wrapped in ``lru_cache`` directly —
+    so class attributes like :data:`FUSED_TABLE_BUDGET` stay patchable
+    by tests)."""
 
     def __init__(self, p: int, q_rot: int):
         self.p = p
@@ -99,8 +140,8 @@ class _RotationTables:
         # stacked over rows so downstream contractions are batched GEMMs.
         row_sin, Bvs, Bts, Bps = [], [], [], []
         for i in range(grid.nlat):
-            th_r, ph_r = rotated_sphere_points(grid.theta[i], 0.0,
-                                               PSI.ravel(), ALPHA.ravel())
+            th_r, ph_r = rotated_ring_points(grid.theta[i],
+                                             PSI.ravel(), ALPHA.ravel())
             th_r = np.clip(th_r, _POLE_GUARD, np.pi - _POLE_GUARD)
             x = np.cos(th_r)
             P, dP = normalized_alp_theta_derivative(p, x)
@@ -135,10 +176,13 @@ class _RotationTables:
         self.B_all_im = np.ascontiguousarray(np.concatenate(
             [self.B_val_im, self.B_dth_im, self.B_dph_im], axis=1))
         self._fused: np.ndarray | None = None
+        self._circ: dict | None = None
         # Tables are shared by every same-order cell; when refresh tasks
-        # run on a thread pool the lazy fused-table build must happen
-        # exactly once.
+        # run on a thread pool the lazy fused/circulant table builds must
+        # happen exactly once.
         self._fused_lock = threading.Lock()
+        self._circ_lock = threading.Lock()
+        self._budget_warned = False
 
     #: byte budget of the fused (nlat, nphi, nrot, N) composition table;
     #: 71 MB at order 8, ~240 MB at order 10, prohibitive beyond — higher
@@ -163,8 +207,19 @@ class _RotationTables:
             from ..sph import get_transform
             grid = self.grid
             n = grid.n_points
-            if grid.nlat * grid.nphi * self.nrot * n * 8 > \
-                    self.FUSED_TABLE_BUDGET:
+            nbytes = grid.nlat * grid.nphi * self.nrot * n * 8
+            if nbytes > self.FUSED_TABLE_BUDGET:
+                with self._fused_lock:
+                    if not self._budget_warned:
+                        self._budget_warned = True
+                        _log.warning(
+                            "fused self-interaction table at order %d "
+                            "(%.0f MB) exceeds FUSED_TABLE_BUDGET "
+                            "(%.0f MB); falling back to the slower staged "
+                            "assembly — the 'circulant' assembly mode has "
+                            "no such gate",
+                            self.p, nbytes / 1e6,
+                            self.FUSED_TABLE_BUDGET / 1e6)
                 return None
             with self._fused_lock:
                 if self._fused is not None:     # built by a racing task
@@ -177,6 +232,267 @@ class _RotationTables:
                 self._fused = D
         return self._fused
 
+    def circulant_tables(self) -> dict:
+        """Per-ring azimuthal-mode symbols of the block-circulant assembly.
+
+        Both factors of the per-target table are diagonal in the
+        azimuthal mode ``m`` once the target phase is absorbed:
+
+        - ``syn``, a list over modes ``m`` of complex ``(nlat, 2, nrot,
+          p+1-m)`` blocks: the value and d/dtheta rotated-synthesis
+          columns ``B[rot, l]``, ``l = m..p``, of the ``phi_t = 0``
+          target. The rotated geometry of a whole ring is per-mode GEMMs
+          against the coefficients' ``m >= 0`` block (exact by the
+          Hermitian symmetry of real fields) followed by the inverse
+          azimuthal transform over the target longitude; d/dphi is the
+          same modes times ``i m``.
+        - ``Ec_even`` / ``Ec_odd``: the *conjugate* composed symbol
+          ``conj(sum_l B[rot, (l, m)] A_lat[(l, m), j]) * 2 pi / nphi``
+          split into real/imaginary parts and *folded* over the exact
+          mirror symmetry ``alpha -> -alpha`` of the rotated rule (the
+          real part is even in ``alpha``, the imaginary part odd — the
+          pole rotation preserves the rule's reflection plane), which
+          halves the inner dimension of the assembly's dominant GEMM.
+          Row order along the folded axis is ``(psi, [alpha=0,
+          alpha=nalpha/2, alpha=1..nalpha/2-1])`` for both parts (the
+          self-paired columns ride along verbatim — see the inline
+          comment); columns are ``(j, m)`` j-major. Shapes
+          ``(nlat, npsi*(nalpha/2+1), nlat*(p+1))``.
+        - ``Ci``/``Si``/``mCi``/``mSi``, shape ``(p+1, nphi)``: the
+          dense inverse azimuthal transform ``fac_m cos(m phi_t)`` /
+          ``fac_m sin(m phi_t)`` (``fac = 2 - delta_m0``) and its
+          ``m``-weighted variants for the phi derivative. This *is* the
+          FFT diagonalization — at the ``nphi = 2p + 2`` sizes used here
+          the dense length-``nphi`` transform beats a batched FFT call.
+        - ``Einv_cos`` / ``Einv_sin``, shape ``(nphi, p+1, nphi)``: the
+          diagonalized block shift of the operator rows,
+          ``fac_m cos(m (phi_s - phi_t))`` and ``-fac_m sin(m (phi_s -
+          phi_t))`` — the target-longitude phase and the inverse
+          transform over the *source* longitude in one batched factor.
+
+        Geometry-independent, shared by every cell of this order pair;
+        built lazily under a lock.
+        """
+        if self._circ is None:
+            with self._circ_lock:
+                if self._circ is not None:      # built by a racing task
+                    return self._circ
+                from ..sph import get_transform
+                grid = self.grid
+                p = self.p
+                nm = p + 1
+                npsi = self.q_rot + 1
+                nal = 2 * self.q_rot + 2
+                half = nal // 2
+                syn = []
+                A_lat = get_transform(p).analysis_latitude_matrix()[
+                    self.packed_rows]
+                E_re = np.empty((grid.nlat, self.nrot, grid.nlat, nm))
+                E_im = np.empty_like(E_re)
+                for m in range(nm):
+                    cols = np.nonzero(self.ms == m)[0]  # l = m..p ascending
+                    syn.append(np.ascontiguousarray(np.stack(
+                        [self.B_val[:, :, cols], self.B_dth[:, :, cols]],
+                        axis=1)))                # (nlat, 2, nrot, p+1-m)
+                    Am = (2.0 * np.pi / grid.nphi) * A_lat[cols]
+                    E_re[:, :, :, m] = self.B_val_re[:, :, cols] @ Am
+                    E_im[:, :, :, m] = -(self.B_val_im[:, :, cols] @ Am)
+                # Fold the alpha-mirror symmetry (exact up to rounding;
+                # the fold symmetrizes, so the folded contraction agrees
+                # with the unfolded one to machine precision).
+                K = grid.nlat * nm
+                E_re = E_re.reshape(grid.nlat, npsi, nal, K)
+                E_im = E_im.reshape(grid.nlat, npsi, nal, K)
+                # The self-paired alpha = 0, pi columns are kept verbatim
+                # in both halves (the imaginary part there is zero in
+                # exact arithmetic, but when a rotated node lands on a
+                # pole the computed longitude — and hence the imaginary
+                # column — is an arbitrary finite value every other
+                # assembly route shares; dropping it would break the
+                # cross-route equivalence at ~1e-9).
+                Ec_even = np.concatenate([
+                    E_re[:, :, :1], E_re[:, :, half: half + 1],
+                    0.5 * (E_re[:, :, 1: half] + E_re[:, :, :half: -1]),
+                ], axis=2).reshape(grid.nlat, npsi * (half + 1), K)
+                Ec_odd = np.concatenate([
+                    E_im[:, :, :1], E_im[:, :, half: half + 1],
+                    0.5 * (E_im[:, :, 1: half] - E_im[:, :, :half: -1]),
+                ], axis=2).reshape(grid.nlat, npsi * (half + 1), K)
+                marr = np.arange(nm)
+                fac = np.where(marr == 0, 1.0, 2.0)
+                Ci = fac[:, None] * np.cos(np.outer(marr, grid.phi))
+                Si = fac[:, None] * np.sin(np.outer(marr, grid.phi))
+                dphi = grid.phi[None, :] - grid.phi[:, None]   # (t, s)
+                Einv_cos = np.ascontiguousarray(
+                    (fac[:, None, None]
+                     * np.cos(marr[:, None, None] * dphi)).transpose(1, 0, 2))
+                Einv_sin = np.ascontiguousarray(
+                    (-fac[:, None, None]
+                     * np.sin(marr[:, None, None] * dphi)).transpose(1, 0, 2))
+                self._circ = {
+                    "syn": syn,
+                    "Ec_even": np.ascontiguousarray(Ec_even),
+                    "Ec_odd": np.ascontiguousarray(Ec_odd),
+                    "Ci": Ci, "Si": Si,
+                    "mCi": marr[:, None] * Ci, "mSi": marr[:, None] * Si,
+                    "Einv_cos": Einv_cos, "Einv_sin": Einv_sin,
+                    "npsi": npsi, "nalpha": nal,
+                }
+        return self._circ
+
+
+@lru_cache(maxsize=8)
+def _rotation_tables(p: int, q_rot: int) -> _RotationTables:
+    """Shared per-(p, q_rot) tables (every same-order cell reuses one)."""
+    return _RotationTables(p, q_rot)
+
+
+#: symmetric pairs (k, j) of the ``r (x) r`` part of the Stokeslet, and
+#: where each contraction lands in the (3, 3) component block.
+_STOKESLET_PAIRS = ((0, 0), (0, 1), (0, 2), (1, 1), (1, 2), (2, 2))
+
+#: flat byte budget of one row chunk's kernel-field transients in
+#: :func:`assemble_circulant` (measured optimum on the bench host: small
+#: enough that a chunk's several elementwise passes stay cache-resident).
+_CHUNK_BUDGET = 4e6
+
+
+def assemble_circulant(tables: _RotationTables,
+                       surfaces: Sequence[SpectralSurface],
+                       viscosity: float = 1.0
+                       ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Block-circulant assembly of the singular operator, stacked over a
+    group of same-order surfaces.
+
+    Per latitude ring, the rotated geometry of all targets comes from
+    per-azimuthal-mode GEMMs plus an inverse real FFT over the target
+    longitude, and the operator rows come from one GEMM pair against the
+    ring's conjugate circulant symbol, a diagonal target-phase multiply
+    and an inverse real FFT over the *source* longitude (see
+    :meth:`_RotationTables.circulant_tables`); only the pointwise
+    Stokeslet kernel fields are evaluated per target, so the result is
+    exact for arbitrary shapes. All GEMMs and inverse transforms carry a
+    leading cell axis: stacking same-order cells widens the batched
+    calls without changing the per-cell arithmetic, so a stacked slice
+    agrees with the single-surface assembly of that cell to roundoff
+    (<= 1e-16 observed; BLAS blocking may differ with the batch width).
+
+    Every surface must have the tables' order. Returns ``(M, X_rot,
+    w_rot)``: the dense operators ``(ncell, 3N, 3N)`` and the rotated
+    quadrature geometry ``(ncell, nlat, nphi, nrot[, 3])``.
+    """
+    tb = tables
+    grid = tb.grid
+    p = tb.p
+    nlat, nphi, nrot = grid.nlat, grid.nphi, tb.nrot
+    n = grid.n_points
+    nm = p + 1
+    ncell = len(surfaces)
+    for s in surfaces:
+        if s.order != p:
+            raise ValueError(f"surface order {s.order} does not match the "
+                             f"rotation tables' order {p}")
+    ct = tb.circulant_tables()
+    syn = ct["syn"]
+    Ec_even, Ec_odd = ct["Ec_even"], ct["Ec_odd"]
+    Ci, Si, mCi, mSi = ct["Ci"], ct["Si"], ct["mCi"], ct["mSi"]
+    Einv_cos, Einv_sin = ct["Einv_cos"], ct["Einv_sin"]
+    npsi, nal = ct["npsi"], ct["nalpha"]
+    half = nal // 2
+    scale = 1.0 / (8.0 * np.pi * viscosity)
+    targets = np.stack([s.X for s in surfaces])        # (ncell, nlat, nphi, 3)
+    # m >= 0 coefficient block of every surface, arranged (m, l, cell*comp)
+    # for the per-mode synthesis GEMMs (the m < 0 half is the Hermitian
+    # conjugate for real coordinate fields, supplied by the real inverse
+    # azimuthal transform).
+    cg = np.stack([s.coeffs()[:, :, p:] for s in surfaces])
+    cg = np.ascontiguousarray(
+        cg.transpose(3, 2, 0, 1).reshape(nm, nm, ncell * 3))
+    pairs = _STOKESLET_PAIRS
+
+    M = np.empty((ncell, nlat, nphi, 3, n, 3))
+    X_rot = np.empty((ncell, nlat, nphi, nrot, 3))
+    w_rot = np.empty((ncell, nlat, nphi, nrot))
+    # The (rows, nphi, nrot, ...) transients scale like O(p^5); bound the
+    # per-chunk working set so it stays cache-resident (cf. the fused
+    # route's policy; tighter here because the whole chunk makes several
+    # elementwise passes).
+    rows = max(1, int(_CHUNK_BUDGET // (ncell * nphi * nrot * 9 * 8)))
+    for a in range(0, nlat, rows):
+        sl = slice(a, min(a + rows, nlat))
+        nsl = sl.stop - a
+
+        # -- rotated geometry: compact per-mode GEMMs, then the dense
+        # inverse azimuthal transform over the target longitude (one
+        # flattened GEMM per derivative kind) --
+        G = np.stack([syn[m][sl].reshape(nsl * 2 * nrot, nm - m)
+                      @ cg[m, m:] for m in range(nm)], axis=-1)
+        Gr = np.ascontiguousarray(G.real).reshape(-1, nm)
+        Gi = np.ascontiguousarray(G.imag).reshape(-1, nm)
+        Xboth = (Gr @ Ci - Gi @ Si).reshape(nsl, 2, nrot, ncell, 3, nphi)
+        Xr = Xboth[:, 0].transpose(2, 0, 4, 1, 3)   # (ncell,nsl,nphi,nrot,3)
+        Xt = Xboth[:, 1]                            # (nsl,nrot,ncell,3,nphi)
+        Gval = np.s_[:, 0]
+        Xp = (-(Gr.reshape(nsl, 2, -1, nm)[Gval].reshape(-1, nm) @ mSi)
+              - (Gi.reshape(nsl, 2, -1, nm)[Gval].reshape(-1, nm) @ mCi)
+              ).reshape(nsl, nrot, ncell, 3, nphi)
+        # area element |X_theta x X_phi| without the np.cross temporaries
+        W = ((Xt[:, :, :, 1] * Xp[:, :, :, 2]
+              - Xt[:, :, :, 2] * Xp[:, :, :, 1]) ** 2
+             + (Xt[:, :, :, 2] * Xp[:, :, :, 0]
+                - Xt[:, :, :, 0] * Xp[:, :, :, 2]) ** 2
+             + (Xt[:, :, :, 0] * Xp[:, :, :, 1]
+                - Xt[:, :, :, 1] * Xp[:, :, :, 0]) ** 2)
+        np.sqrt(W, out=W)
+        X_rot[:, sl] = Xr
+        w_rot[:, sl] = ((W.transpose(2, 0, 3, 1)
+                         / tb.row_sin_theta_r[None, sl, None, :])
+                        * tb.weights[None, None, None, :])
+
+        # -- pointwise Stokeslet kernel fields (the per-target part; the
+        # trace delta_kj term is folded into the diagonal pairs) --
+        r = targets[:, sl, :, None, :] - Xr
+        inv_r = np.einsum("aitsk,aitsk->aits", r, r)
+        np.sqrt(inv_r, out=inv_r)
+        np.reciprocal(inv_r, out=inv_r)
+        trace = (scale * w_rot[:, sl]) * inv_r
+        g3 = trace * inv_r * inv_r           # w / r^3
+        F = np.empty((ncell, nsl, nphi, 6, nrot))
+        for idx, (k, j) in enumerate(pairs):
+            np.multiply(r[..., k], r[..., j], out=F[:, :, :, idx])
+            F[:, :, :, idx] *= g3
+            if k == j:
+                F[:, :, :, idx] += trace
+        # -- fold the alpha-mirror symmetry: even part meets the real
+        # symbol, odd part the imaginary one (half-size inner dims) --
+        F = F.reshape(ncell, nsl, nphi, 6, npsi, nal)
+        Fe = np.empty((ncell, nsl, nphi, 6, npsi, half + 1))
+        Fe[..., 0] = F[..., 0]
+        Fe[..., 1] = F[..., half]
+        Fe[..., 2:] = F[..., 1: half] + F[..., :half: -1]
+        Fo = np.empty_like(Fe)
+        Fo[..., 0] = F[..., 0]
+        Fo[..., 1] = F[..., half]
+        Fo[..., 2:] = F[..., 1: half] - F[..., :half: -1]
+
+        # -- contraction against the folded conjugate symbols, then the
+        # diagonalized block shift (target phase + inverse transform over
+        # the source longitude) --
+        c2re = np.matmul(Fe.reshape(ncell, nsl, nphi * 6, npsi * (half + 1)),
+                         Ec_even[sl]).reshape(ncell, nsl, nphi, 6 * nlat, nm)
+        c2im = np.matmul(Fo.reshape(ncell, nsl, nphi * 6, npsi * (half + 1)),
+                         Ec_odd[sl]).reshape(ncell, nsl, nphi, 6 * nlat, nm)
+        Q = np.matmul(c2re, Einv_cos)
+        Q += np.matmul(c2im, Einv_sin)
+        Q = Q.reshape(ncell, nsl, nphi, 6, n)
+
+        Msl = M[:, sl]
+        for idx, (k, j) in enumerate(pairs):
+            Msl[:, :, :, k, :, j] = Q[:, :, :, idx]
+            if k != j:
+                Msl[:, :, :, j, :, k] = Q[:, :, :, idx]
+    return M.reshape(ncell, 3 * n, 3 * n), X_rot, w_rot
+
 
 class SingularSelfInteraction:
     """Applies the singular single-layer operator ``S_i`` of one cell.
@@ -186,7 +502,20 @@ class SingularSelfInteraction:
     self-interaction term ``S_i f_i`` of paper Eq. (2.8). The operator is
     assembled as a dense matrix at every :meth:`refresh`, so ``apply`` is
     a single matrix-vector product.
+
+    ``assembly`` selects the full-reassembly route (see the module
+    docstring): ``"circulant"`` is the FFT-diagonalized block-circulant
+    assembly, ``"fused"`` the per-target fused route (single pass, with
+    the memory-gated fused table when it fits), and ``"auto"`` (the
+    default, mirrored by ``NumericsOptions.selfop_assembly``) currently
+    always picks ``"circulant"`` — it does strictly less work per
+    assembly and has no order gate; ``"fused"`` remains as the
+    independent reference the equivalence suite pins it against. All
+    routes agree to ~1e-12 and share the same refresh/correction policy.
     """
+
+    #: valid ``assembly`` arguments.
+    ASSEMBLY_MODES = ("auto", "fused", "circulant")
 
     #: smallest best-fit rotation angle (rad) the intermediate refresh
     #: corrects by kernel conjugation; see :meth:`_correct_matrix` for
@@ -194,22 +523,29 @@ class SingularSelfInteraction:
     KABSCH_MIN_ANGLE = 5e-3
 
     def __init__(self, surface: SpectralSurface, viscosity: float = 1.0,
-                 upsample: float = 1.5, refresh_interval: int = 1):
+                 upsample: float = 1.5, refresh_interval: int = 1,
+                 assembly: str = "auto"):
         self.surface = surface
         self.viscosity = viscosity
         if refresh_interval < 1:
             raise ValueError("refresh_interval must be >= 1, got "
                              f"{refresh_interval}")
+        if assembly not in self.ASSEMBLY_MODES:
+            raise ValueError(f"unknown assembly mode {assembly!r}; "
+                             f"expected one of {self.ASSEMBLY_MODES}")
+        #: resolved full-reassembly route, ``"fused"`` or ``"circulant"``.
+        self.assembly_mode = "circulant" if assembly == "auto" else assembly
         self.refresh_interval = int(refresh_interval)
         p = surface.order
         q_rot = max(p, int(np.ceil(upsample * p)))
-        self.tables = _RotationTables(p, q_rot)
+        self.tables = _rotation_tables(p, q_rot)
         # Packed-row forward SHT (geometry-independent), split for the
         # real-GEMM composition in :meth:`_assemble_full`.
         A = surface.transform.analysis_matrix()[self.tables.packed_rows]
         self._A_re = np.ascontiguousarray(A.real)
         self._A_im = np.ascontiguousarray(A.imag)
         self._since_full = 0
+        self._pending_install = False
         self.refresh(full=True)
 
     def _assemble_full(self) -> None:
@@ -240,9 +576,7 @@ class SingularSelfInteraction:
         ph_r = tb.phases.T.real[None, :, None, :]
         ph_i = tb.phases.T.imag[None, :, None, :]
         D = tb.fused_table()
-        # Symmetric pairs (k, j) of the r (x) r part of the Stokeslet, and
-        # where each contraction lands in the (3, 3) component block.
-        pairs = ((0, 0), (0, 1), (0, 2), (1, 1), (1, 2), (2, 2))
+        pairs = _STOKESLET_PAIRS
         X_rot = np.empty((nlat, nphi, nrot, 3))
         w_rot = np.empty((nlat, nphi, nrot))
         M = np.empty((nlat, nphi, 3, n, 3))
@@ -313,16 +647,54 @@ class SingularSelfInteraction:
                      .transpose(0, 1, 2, 4, 3))
         self.X_rot = X_rot
         self.w_rot = w_rot
-        self._matrix = M.reshape(3 * n, 3 * n)
-        self._ref_matrix = self._matrix
+        self._finalize_full(M.reshape(3 * n, 3 * n))
+
+    def _assemble_circulant(self) -> None:
+        """The FFT-diagonalized block-circulant assembly (module
+        docstring); the single-surface case of :func:`assemble_circulant`.
+        """
+        M, X_rot, w_rot = assemble_circulant(self.tables, [self.surface],
+                                             self.viscosity)
+        self.X_rot = X_rot[0]
+        self.w_rot = w_rot[0]
+        self._finalize_full(M[0])
+
+    def _assemble(self) -> None:
+        """Full reassembly via the configured route."""
+        if self.assembly_mode == "circulant":
+            self._assemble_circulant()
+        else:
+            self._assemble_full()
+
+    def _finalize_full(self, matrix: np.ndarray) -> None:
+        """Shared bookkeeping of a full assembly (any route): install the
+        operator and snapshot the reference configuration of the
+        intermediate-refresh correction — the best-fit rotation is
+        extracted against these points, with the surface quadrature
+        weights as the (area-faithful) fit weights."""
+        surf = self.surface
+        self._matrix = matrix
+        self._ref_matrix = matrix
         self._ref_area = surf.area()
-        # Reference configuration of the intermediate-refresh correction:
-        # the best-fit rotation is extracted against these points, with
-        # the surface quadrature weights as the (area-faithful) fit
-        # weights.
         self._ref_points = surf.points.copy()
         self._ref_weights = surf.quadrature_weights().ravel().copy()
         self._rotated_geometry_stale = False
+
+    def install_full(self, matrix: np.ndarray, X_rot: np.ndarray,
+                     w_rot: np.ndarray) -> None:
+        """Install an externally assembled full operator.
+
+        Used by :meth:`repro.core.cellbatch.CellBatch.assemble_selfops`,
+        which runs :func:`assemble_circulant` stacked over a same-order
+        group of cells and scatters the slices here. The arrays must
+        describe this surface's *current* geometry; the next
+        :meth:`refresh` that lands on a full reassembly consumes the
+        installed state instead of assembling its own.
+        """
+        self.X_rot = X_rot
+        self.w_rot = w_rot
+        self._finalize_full(matrix)
+        self._pending_install = True
 
     def _best_fit_rotation(self) -> np.ndarray:
         """Kabsch best-fit rotation from the reference points to the
@@ -399,14 +771,26 @@ class SingularSelfInteraction:
         can align their own refresh cycle with this operator's.
         """
         if full is None:
-            full = self._since_full % self.refresh_interval == 0
+            full = self.due_full()
         if full:
-            self._assemble_full()
+            if self._pending_install:
+                # a stacked group assembly already installed this
+                # geometry's operator (see install_full)
+                self._pending_install = False
+            else:
+                self._assemble()
             self._since_full = 1
         else:
+            self._pending_install = False
             self._correct_matrix()
             self._since_full += 1
         return full
+
+    def due_full(self) -> bool:
+        """Whether the next policy-driven ``refresh()`` (``full=None``)
+        will be a full reassembly — lets the stepper route due cells
+        through the stacked group assembly beforehand."""
+        return self._since_full % self.refresh_interval == 0
 
     @property
     def matrix(self) -> np.ndarray:

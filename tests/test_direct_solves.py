@@ -301,7 +301,9 @@ class TestFusedAssemblyPaths:
     def test_fused_table_and_fallback_agree(self):
         from repro.vesicle.self_interaction import _RotationTables
         s = ellipsoid(1.0, 1.2, 0.9, order=5)
-        op = SingularSelfInteraction(s)
+        # explicit mode: the default assembly is "circulant" now, which
+        # never consults the fused table
+        op = SingularSelfInteraction(s, assembly="fused")
         fast = op.matrix.copy()
         tb = op.tables
         saved, tb._fused = tb._fused, None
@@ -309,7 +311,14 @@ class TestFusedAssemblyPaths:
         try:
             _RotationTables.FUSED_TABLE_BUDGET = 0
             op.refresh(full=True)
-            assert np.abs(op.matrix - fast).max() == 0.0
+            # ulp-level, not exactly 0.0: the table folds the phase into
+            # the composition before the kernel contraction, the staged
+            # fallback applies it after. (The seed asserted == 0.0, but
+            # its budget patch landed on the lru_cache wrapper rather
+            # than the class and never actually exercised the fallback;
+            # _RotationTables is a plain class now, so this test finally
+            # runs the path it names.)
+            assert np.abs(op.matrix - fast).max() <= 1e-14
         finally:
             _RotationTables.FUSED_TABLE_BUDGET = budget
             tb._fused = saved

@@ -1,0 +1,371 @@
+"""Cross-path operator-equivalence suite for the singular self-interaction.
+
+The dense self-interaction operator has four independently implemented
+routes: the seed re-synthesis evaluation (``apply_reference``), the fused
+single-pass assembly, the fused *table* assembly (memory-gated), and the
+FFT-diagonalized block-circulant assembly. This suite pins them against
+each other across orders and shapes — including a randomly perturbed
+(non-symmetric) surface, which exercises the claim that the circulant
+route's structure lives in the parametrization, not the geometry — and
+checks that the refresh-amortization policy (dilation rescale + gated
+Kabsch conjugation) behaves identically under every assembly mode.
+
+It also covers the companions that ride on the same machinery: the
+stacked same-order group assembly (``CellBatch.assemble_selfops``), the
+stacked getrf/getrs direct solves (``NumericsOptions.batched_lu``), the
+one-time fused-table budget warning, the cylindrical-frame block
+circulance of an axisymmetric surface (the geometric limit of the
+structure), and an order-12 scene that the fused-table gate previously
+made impractical (``slow`` marker; the default CI lane runs
+``-m "not slow"``).
+"""
+import logging
+
+import numpy as np
+import pytest
+
+from repro.config import NumericsOptions, ReproConfig
+from repro.core.cellbatch import CellBatch
+from repro.core.simulation import Simulation
+from repro.physics.terms import Bending, Gravity, Tension
+from repro.surfaces import SpectralSurface, biconcave_rbc, ellipsoid, sphere
+from repro.vesicle import SingularSelfInteraction, assemble_circulant
+from repro.vesicle.self_interaction import _RotationTables
+
+#: The assembly routes must agree pairwise to this (issue acceptance).
+TOL = 1e-10
+
+SHAPES = ("sphere", "ellipsoid", "rbc", "perturbed")
+
+
+def order_params():
+    """Orders {4, 6, 8, 10}; order 10 (the fused-table budget edge) only
+    in the full lane."""
+    return [pytest.param(o, marks=pytest.mark.slow) if o >= 10 else o
+            for o in (4, 6, 8, 10)]
+
+
+def make_shape(name: str, order: int) -> SpectralSurface:
+    if name == "sphere":
+        return sphere(1.1, order=order)
+    if name == "ellipsoid":
+        return ellipsoid(1.0, 1.25, 0.8, order=order)
+    if name == "rbc":
+        return biconcave_rbc(1.0, order=order)
+    assert name == "perturbed"
+    # Seeded random band-limited bump of the RBC: no symmetry left, so
+    # nothing in the assembly can lean on axisymmetric geometry.
+    base = biconcave_rbc(1.0, order=order)
+    rng = np.random.default_rng(100 + order)
+    lmax = min(3, order)
+    c = np.zeros((3, order + 1, 2 * order + 1), dtype=complex)
+    for comp in range(3):
+        for l in range(lmax + 1):
+            for m in range(l + 1):
+                z = rng.standard_normal() + 1j * rng.standard_normal()
+                if m == 0:
+                    z = complex(z.real, 0.0)
+                c[comp, l, order + m] = z
+                c[comp, l, order - m] = (-1.0) ** m * np.conj(z)
+    bump = np.moveaxis(base.transform.inverse(c), 0, -1)
+    bump *= 0.08 / np.abs(bump).max()
+    return SpectralSurface(base.X + bump, order)
+
+
+def fused_ops(surf, viscosity=1.0, refresh_interval=1, table=True):
+    """The fused route twice: with its table (when in budget) and with
+    the table force-rejected (the staged single-pass fallback).
+    ``table=False`` skips the table-backed operator entirely — its slot
+    comes back ``None`` — so high orders never build the table just to
+    discard it (at order 10 it is the ~240 MB budget edge, and the
+    lru-cached tables would keep it resident for the whole session)."""
+    with_table = None
+    if table:
+        with_table = SingularSelfInteraction(
+            surf, viscosity=viscosity, refresh_interval=refresh_interval,
+            assembly="fused")
+    saved_budget = _RotationTables.FUSED_TABLE_BUDGET
+    try:
+        # budget 0 short-circuits fused_table() before it consults the
+        # cached table, so an already-built table is left untouched
+        _RotationTables.FUSED_TABLE_BUDGET = 0
+        single_pass = SingularSelfInteraction(
+            surf, viscosity=viscosity, refresh_interval=refresh_interval,
+            assembly="fused")
+    finally:
+        _RotationTables.FUSED_TABLE_BUDGET = saved_budget
+    return with_table, single_pass
+
+
+class TestAssemblyRouteEquivalence:
+    @pytest.mark.parametrize("order", order_params())
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_routes_agree(self, order, shape):
+        surf = make_shape(shape, order)
+        mu = 1.3
+        circ = SingularSelfInteraction(surf, viscosity=mu,
+                                       assembly="circulant")
+        # The fused table at order 10 is the 240 MB budget edge; build it
+        # only up to order 8 and keep the staged single-pass route (the
+        # same contraction without the table) everywhere.
+        if order <= 8:
+            fused, single = fused_ops(surf, viscosity=mu)
+            assert fused.tables.fused_table() is not None
+            routes = {"fused-table": fused, "fused-single-pass": single}
+        else:
+            _, single = fused_ops(surf, viscosity=mu, table=False)
+            routes = {"fused-single-pass": single}
+        for name, op in routes.items():
+            err = np.abs(op.matrix - circ.matrix).max()
+            assert err <= TOL, f"circulant vs {name}: {err:.2e}"
+        # ... and against the seed re-synthesis evaluation.
+        rng = np.random.default_rng(order)
+        f = rng.standard_normal((surf.grid.nlat, surf.grid.nphi, 3))
+        assert np.abs(circ.apply(f) - circ.apply_reference(f)).max() <= TOL
+
+    def test_auto_resolves_to_circulant(self):
+        surf = sphere(1.0, order=4)
+        op = SingularSelfInteraction(surf)
+        assert op.assembly_mode == "circulant"
+        with pytest.raises(ValueError, match="assembly"):
+            SingularSelfInteraction(surf, assembly="blockwise")
+
+    def test_config_validates_assembly_mode(self):
+        with pytest.raises(ValueError, match="selfop_assembly"):
+            ReproConfig(numerics=NumericsOptions(selfop_assembly="nope"))
+
+
+class TestCylindricalCirculance:
+    def test_surface_of_revolution_operator_is_block_circulant(self):
+        """The geometric limit the issue names: in cylindrical vector
+        components about the polar axis, the operator of a surface of
+        revolution is block-circulant in the *target* longitude (moving
+        the target around its ring is a symmetry of the whole geometry).
+        The general-shape assembly never relies on this — the ellipsoid
+        control below breaks it — but it must hold on a sphere."""
+        surf = sphere(1.2, order=6)
+        Mc = self._cylindrical_blocks(surf)
+        nphi = surf.grid.nphi
+        for t in range(1, nphi):
+            rolled = np.roll(Mc[:, 0], shift=t, axis=3)
+            assert np.abs(Mc[:, t] - rolled).max() <= TOL
+
+    def test_nonaxisymmetric_control_is_not_circulant(self):
+        surf = ellipsoid(1.0, 1.4, 0.8, order=6)
+        Mc = self._cylindrical_blocks(surf)
+        t = surf.grid.nphi // 3
+        rolled = np.roll(Mc[:, 0], shift=t, axis=3)
+        assert np.abs(Mc[:, t] - rolled).max() > 1e-3
+
+    @staticmethod
+    def _cylindrical_blocks(surf):
+        op = SingularSelfInteraction(surf, assembly="circulant")
+        grid = surf.grid
+        n = grid.n_points
+        M = op.matrix.reshape(grid.nlat, grid.nphi, 3, grid.nlat,
+                              grid.nphi, 3)
+        U = surf.cylindrical_frames()
+        return np.einsum("itak,itkjslb->itajsb", U,
+                         np.einsum("itkjsl,jsbl->itkjslb", M, U),
+                         optimize=True)
+
+
+class TestRefreshPolicyAcrossModes:
+    MODES = ("fused", "circulant")
+
+    def _ops(self, interval=3):
+        ops = {}
+        for mode in self.MODES:
+            surf = biconcave_rbc(1.0, order=5)
+            ops[mode] = SingularSelfInteraction(
+                surf, refresh_interval=interval, assembly=mode)
+        return ops
+
+    @staticmethod
+    def _move(op, motion):
+        op.surface.set_positions(motion(op.surface.X))
+        return op.refresh()
+
+    def test_amortization_and_kabsch_identical_under_every_mode(self):
+        ops = self._ops(interval=3)
+        angle = 0.04                      # > KABSCH_MIN_ANGLE: conjugates
+        R = np.array([[np.cos(angle), -np.sin(angle), 0.0],
+                      [np.sin(angle), np.cos(angle), 0.0],
+                      [0.0, 0.0, 1.0]])
+        rng = np.random.default_rng(3)
+        noise = 1e-3 * rng.standard_normal((6, 12, 3))
+        motions = [
+            lambda X: 1.03 * X + np.array([0.2, -0.1, 0.05]),  # scale+shift
+            lambda X: (X - X.mean((0, 1))) @ R.T + X.mean((0, 1)) + noise,
+            lambda X: X + np.array([0.0, 0.3, 0.0]),   # due: full reassembly
+            lambda X: X * 0.99,
+        ]
+        fulls = {mode: [] for mode in self.MODES}
+        for k, motion in enumerate(motions):
+            mats = {}
+            for mode, op in ops.items():
+                fulls[mode].append(self._move(op, motion))
+                mats[mode] = op.matrix.copy()
+            assert np.abs(mats["fused"] - mats["circulant"]).max() <= TOL, \
+                f"refresh {k}"
+        # identical full-reassembly schedule (policy state is shared
+        # logic, not per-route)
+        assert fulls["fused"] == fulls["circulant"] == [False, False, True,
+                                                        False]
+
+    def test_forced_full_identical_under_every_mode(self):
+        ops = self._ops(interval=4)
+        for op in ops.values():
+            op.surface.set_positions(op.surface.X * 1.1)
+            assert op.refresh(full=True) is True
+        assert np.abs(ops["fused"].matrix
+                      - ops["circulant"].matrix).max() <= TOL
+
+
+class TestStackedGroupAssembly:
+    def _cells(self, n=3, order=6):
+        return [biconcave_rbc(1.0, center=(2.3 * k, 0.1 * k, 0.0),
+                              order=order) for k in range(n)]
+
+    def test_stacked_slices_match_per_cell(self):
+        cells = self._cells()
+        ops = [SingularSelfInteraction(c, assembly="circulant")
+               for c in cells]
+        M, X_rot, w_rot = assemble_circulant(ops[0].tables, cells, 1.0)
+        for i, op in enumerate(ops):
+            assert np.abs(M[i] - op.matrix).max() <= 1e-14
+            assert np.abs(X_rot[i] - op.X_rot).max() <= 1e-14
+            assert np.abs(w_rot[i] - op.w_rot).max() <= 1e-14
+
+    def test_order_mismatch_rejected(self):
+        cells = self._cells(2)
+        op = SingularSelfInteraction(cells[0], assembly="circulant")
+        with pytest.raises(ValueError, match="order"):
+            assemble_circulant(op.tables, [sphere(1.0, order=4)], 1.0)
+
+    def test_install_consumed_by_next_refresh(self):
+        cells = self._cells()
+        ops = [SingularSelfInteraction(c, assembly="circulant")
+               for c in cells]
+        batch = CellBatch(cells)
+        for c in cells:
+            c.set_positions(c.X * 1.01)
+        due = [i for i, op in enumerate(ops) if op.due_full()]
+        assert due == [0, 1, 2]
+        batch.assemble_selfops(ops, due)
+        installed = [op.matrix for op in ops]
+        for op in ops:
+            assert op.refresh() is True          # consumes, no reassembly
+        for op, mat in zip(ops, installed):
+            assert op.matrix is mat
+        # the flag is one-shot: the next full refresh reassembles
+        for op in ops:
+            assert not op._pending_install
+
+    def test_mixed_order_groups(self):
+        cells = self._cells(2, order=6) + self._cells(1, order=5)
+        ops = [SingularSelfInteraction(c, assembly="circulant")
+               for c in cells]
+        batch = CellBatch(cells)
+        expected = [op.matrix.copy() for op in ops]
+        batch.assemble_selfops(ops, [0, 1, 2])
+        for op, ref in zip(ops, expected):
+            assert np.abs(op.matrix - ref).max() <= 1e-14
+
+
+def _scene(ncells=3, order=5, **numopts):
+    cells = [biconcave_rbc(1.0, center=(2.35 * (k % 2), 2.35 * (k // 2),
+                                        0.1 * k), order=order)
+             for k in range(ncells)]
+    cfg = ReproConfig(
+        dt=0.05, viscosity=1.0,
+        forces=[Bending(0.01), Tension(), Gravity(0.4, (0.0, 0.0, -1.0))],
+        backend="direct", with_collisions=False,
+        numerics=NumericsOptions(**numopts))
+    return Simulation(cells, config=cfg)
+
+
+class TestBatchedLU:
+    def test_trajectories_bit_identical(self):
+        """The stacked getrf/getrs path drives the same LAPACK kernels on
+        the same matrices as the per-cell lu_factor/lu_solve path, so the
+        trajectories must agree bit for bit — not merely to tolerance."""
+        on = _scene(batched_lu=True)
+        off = _scene(batched_lu=False)
+        on.run(2)
+        off.run(2)
+        for a, b in zip(on.cells, off.cells):
+            assert np.array_equal(a.X, b.X)
+        for sa, sb in zip(on.stepper.sigmas, off.stepper.sigmas):
+            assert np.array_equal(sa, sb)
+
+    def test_mixed_order_scene_bit_identical(self):
+        def scene(batched):
+            cells = [biconcave_rbc(1.0, center=(2.4 * k, 0.0, 0.0),
+                                   order=5 + (k % 2)) for k in range(3)]
+            cfg = ReproConfig(dt=0.05,
+                              forces=[Bending(0.01), Tension()],
+                              with_collisions=False,
+                              numerics=NumericsOptions(batched_lu=batched))
+            return Simulation(cells, config=cfg)
+
+        on, off = scene(True), scene(False)   # two equal-shape groups
+        on.run(2)
+        off.run(2)
+        for a, b in zip(on.cells, off.cells):
+            assert np.array_equal(a.X, b.X)
+
+
+class TestFusedTableBudgetWarning:
+    def test_warns_once_naming_order_and_budget(self, caplog):
+        surf = biconcave_rbc(1.0, order=5)
+        saved = _RotationTables.FUSED_TABLE_BUDGET
+        try:
+            _RotationTables.FUSED_TABLE_BUDGET = 0
+            with caplog.at_level(logging.WARNING,
+                                 logger="repro.vesicle.self_interaction"):
+                # odd upsample -> a fresh (un-warned, un-cached) table pair
+                op = SingularSelfInteraction(surf, upsample=1.31,
+                                             assembly="fused")
+                op.refresh(full=True)       # second rejection: no re-warn
+        finally:
+            _RotationTables.FUSED_TABLE_BUDGET = saved
+        warnings = [r for r in caplog.records
+                    if "FUSED_TABLE_BUDGET" in r.message]
+        assert len(warnings) == 1
+        assert "order 5" in warnings[0].message
+        assert "circulant" in warnings[0].message
+
+    def test_within_budget_is_silent(self, caplog):
+        surf = biconcave_rbc(1.0, order=4)
+        with caplog.at_level(logging.WARNING,
+                             logger="repro.vesicle.self_interaction"):
+            SingularSelfInteraction(surf, assembly="fused")
+        assert not [r for r in caplog.records
+                    if "FUSED_TABLE_BUDGET" in r.message]
+
+
+@pytest.mark.slow
+class TestHighOrderRegression:
+    def test_order12_two_step_trajectory_matches_reference(self):
+        """An order-12 cell — beyond the fused table's memory gate — runs
+        a short trajectory under the circulant assembly and matches the
+        (table-less, much slower) fused reference assembly to 1e-8."""
+        def scene(mode):
+            cell = biconcave_rbc(1.0, order=12)
+            cfg = ReproConfig(
+                dt=0.02, forces=[Bending(0.01), Tension()],
+                with_collisions=False,
+                numerics=NumericsOptions(selfop_assembly=mode))
+            return Simulation([cell], config=cfg)
+
+        circ = scene("circulant")
+        assert circ.stepper._self_ops[0].assembly_mode == "circulant"
+        circ.run(2)
+        ref = scene("fused")
+        # order 12 is over the fused-table budget: the gate that used to
+        # make such scenes impractical is exactly what circulant lifts
+        assert ref.stepper._self_ops[0].tables.fused_table() is None
+        ref.run(2)
+        dev = np.abs(circ.cells[0].X - ref.cells[0].X).max()
+        assert dev <= 1e-8
