@@ -55,6 +55,21 @@ def main() -> None:
     # the far-field smooth quadrature in single precision (~1e-6
     # relative far-field error; every near/singular path stays float64).
     #
+    # Determinism contract & tooling: per-cell tasks may only write
+    # state owned by their own cell, and every lru-cached numpy table
+    # (quadrature nodes, Legendre/rotation tables, operator matrices)
+    # is frozen read-only at construction — that is what makes the
+    # threaded schedule bit-identical to serial. The contract is
+    # enforced three ways: statically by `python -m repro_lint src/`
+    # (an AST pass over every executor.map call site, run in CI);
+    # dynamically by cfg.numerics.executor = "checked", which wraps the
+    # real executor, holds all shared tables non-writeable during each
+    # map and re-runs a sample of tasks to confirm bit-identical
+    # results; and at the array level by cfg.numerics.debug_checks =
+    # True (or REPRO_DEBUG=1), which verifies the @checked shape/dtype
+    # contracts on the hot seams (stokes kernel, stacked LU, SHT,
+    # surface operators) — off by default and near-zero-cost.
+    #
     # cfg.numerics.selfop_assembly selects how the full reassembly is
     # built. "auto" (the default) currently always picks "circulant" —
     # the FFT-diagonalized block-circulant assembly, which is exact for

@@ -1,0 +1,23 @@
+"""Correctness tooling for the executor pipeline's determinism contract.
+
+Two runtime counterparts to the static passes of ``tools/repro_lint``:
+
+- :mod:`repro.analysis.contracts` — the ``@checked`` array-contract
+  decorator (shape/dtype verification of the hot public seams, active
+  only under ``NumericsOptions.debug_checks`` / ``REPRO_DEBUG=1``).
+- :mod:`repro.analysis.guard` — the shared read-only table registry:
+  ``freeze`` marks cached numpy tables immutable and registers them so
+  the ``"checked"`` executor can hold every shared table non-writeable
+  for the duration of each ``map``.
+"""
+from .contracts import (ContractViolation, checked, checks_enabled,
+                        debug_checks, set_debug_checks)
+from .guard import (DeterminismError, freeze, freeze_attributes,
+                    iter_shared_arrays, register_shared, tables_frozen)
+
+__all__ = [
+    "ContractViolation", "checked", "checks_enabled", "debug_checks",
+    "set_debug_checks",
+    "DeterminismError", "freeze", "freeze_attributes",
+    "iter_shared_arrays", "register_shared", "tables_frozen",
+]

@@ -1,0 +1,202 @@
+"""Array contracts for the hot public seams.
+
+``@checked`` attaches a shape/dtype contract to a function::
+
+    @checked(src="(ns,3) f8", weighted_density="(ns,3) f8",
+             out="(nt,3) f8")
+    def stokes_slp_apply(src, weighted_density, trg, ...): ...
+
+Specs are ``"(dim, dim, ...) dtype"`` where each dim is an integer
+literal, a symbol (bound on first use and required to match everywhere
+it reappears in the same call — across arguments *and* the return
+value), a product ``k*SYM`` (the dimension must be divisible by ``k``;
+binds ``SYM``), or a leading ``...`` matching any batch dims. The dtype
+is a numpy dtype code (``f8``, ``f4``, ``c16``, ``i8``, ...) and may be
+omitted for a shape-only contract; a spec without parentheses
+(``"f8"``) checks dtype only.
+
+The decorator is near-zero-cost by default: the wrapper tests one module
+flag and calls through. Verification turns on process-wide via
+``REPRO_DEBUG=1`` in the environment, :func:`set_debug_checks`, or
+``NumericsOptions.debug_checks`` (the time stepper enables checking when
+constructed with it). Violations raise :class:`ContractViolation` naming
+the function, the argument and the mismatch.
+
+The static half lives in ``tools/repro_lint``: the ``contract-dtype``
+rule cross-checks each declared dtype against literal ``astype`` /
+``dtype=`` constructor choices in the decorated function's body, so a
+hard-coded downcast contradicting the contract is caught at lint time
+without running anything.
+"""
+from __future__ import annotations
+
+import contextlib
+import functools
+import inspect
+import os
+import re
+
+import numpy as np
+
+__all__ = ["ContractViolation", "checked", "checks_enabled",
+           "debug_checks", "set_debug_checks", "parse_spec"]
+
+
+class ContractViolation(TypeError):
+    """An array failed the shape/dtype contract of a ``@checked`` seam."""
+
+
+#: process-wide switch; flipping it affects every decorated seam at once.
+_enabled = os.environ.get("REPRO_DEBUG", "") not in ("", "0")
+
+
+def checks_enabled() -> bool:
+    """Whether ``@checked`` contracts are currently verified."""
+    return _enabled
+
+
+def set_debug_checks(on: bool) -> None:
+    """Turn contract verification on/off process-wide."""
+    global _enabled
+    _enabled = bool(on)
+
+
+@contextlib.contextmanager
+def debug_checks(on: bool = True):
+    """Context manager scoping :func:`set_debug_checks` (used in tests)."""
+    global _enabled
+    prev = _enabled
+    _enabled = bool(on)
+    try:
+        yield
+    finally:
+        _enabled = prev
+
+
+_DIM_RE = re.compile(r"^(?:(\d+)\*)?([A-Za-z_]\w*)$")
+
+
+def parse_spec(spec: str) -> tuple[tuple | None, np.dtype | None]:
+    """Parse ``"(n,3) f8"`` into (shape template, dtype).
+
+    The shape template is a tuple of ``int`` (literal), ``str``
+    (symbol), ``(k, sym)`` (product) and ``Ellipsis`` (leading batch
+    dims) entries; either half may be ``None`` when absent.
+    """
+    spec = spec.strip()
+    shape: tuple | None = None
+    dtype: np.dtype | None = None
+    m = re.match(r"^\(([^)]*)\)\s*(\S+)?$", spec)
+    if m:
+        dims: list = []
+        body = m.group(1).strip()
+        parts = [d.strip() for d in body.split(",")] if body else []
+        for k, d in enumerate(parts):
+            if d == "":      # trailing comma of a 1-tuple: "(n,)"
+                continue
+            if d == "...":
+                if k != 0:
+                    raise ValueError(
+                        f"'...' must lead the shape spec: {spec!r}")
+                dims.append(Ellipsis)
+            elif d.isdigit():
+                dims.append(int(d))
+            else:
+                dm = _DIM_RE.match(d)
+                if dm is None:
+                    raise ValueError(f"bad dimension {d!r} in spec {spec!r}")
+                mult, sym = dm.groups()
+                dims.append((int(mult), sym) if mult else sym)
+        shape = tuple(dims)
+        if m.group(2):
+            dtype = np.dtype(m.group(2))
+    else:
+        dtype = np.dtype(spec)
+    return shape, dtype
+
+
+def _check_one(fname: str, name: str, value, shape, dtype,
+               env: dict) -> None:
+    arr = np.asanyarray(value)
+    if dtype is not None and arr.dtype != dtype:
+        raise ContractViolation(
+            f"{fname}: {name} has dtype {arr.dtype}, contract says {dtype}")
+    if shape is None:
+        return
+    dims = list(shape)
+    got = arr.shape
+    if dims and dims[0] is Ellipsis:
+        dims = dims[1:]
+        if len(got) < len(dims):
+            raise ContractViolation(
+                f"{fname}: {name} has shape {got}, contract needs at least "
+                f"{len(dims)} trailing dims {tuple(dims)}")
+        got = got[len(arr.shape) - len(dims):]
+    elif len(got) != len(dims):
+        raise ContractViolation(
+            f"{fname}: {name} has shape {arr.shape}, contract says "
+            f"{len(dims)} dims {tuple(dims)}")
+    for want, have in zip(dims, got):
+        if isinstance(want, int):
+            if have != want:
+                raise ContractViolation(
+                    f"{fname}: {name} has shape {arr.shape}, contract "
+                    f"pins a dim to {want}")
+        elif isinstance(want, str):
+            bound = env.setdefault(want, have)
+            if bound != have:
+                raise ContractViolation(
+                    f"{fname}: {name} has shape {arr.shape}, but symbol "
+                    f"{want!r} is already bound to {bound} in this call")
+        else:                       # (k, sym) product
+            k, sym = want
+            if have % k != 0:
+                raise ContractViolation(
+                    f"{fname}: {name} has shape {arr.shape}; dim {have} "
+                    f"is not a multiple of {k} ({k}*{sym})")
+            bound = env.setdefault(sym, have // k)
+            if bound != have // k:
+                raise ContractViolation(
+                    f"{fname}: {name} has shape {arr.shape}, but symbol "
+                    f"{sym!r} is already bound to {bound} in this call")
+
+
+def checked(**specs: str):
+    """Attach shape/dtype contracts to arguments (by name) and ``out``.
+
+    Near-zero-cost unless :func:`checks_enabled`; see the module
+    docstring for the spec language.
+    """
+    parsed = {name: parse_spec(s) for name, s in specs.items()}
+
+    def decorate(fn):
+        sig = inspect.signature(fn)
+        for name in parsed:
+            if name != "out" and name not in sig.parameters:
+                raise TypeError(
+                    f"@checked on {fn.__qualname__}: no parameter {name!r}")
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            if not _enabled:
+                return fn(*args, **kwargs)
+            bound = sig.bind(*args, **kwargs)
+            env: dict = {}
+            for name, (shape, dtype) in parsed.items():
+                if name == "out" or name not in bound.arguments:
+                    continue
+                value = bound.arguments[name]
+                if value is None:
+                    continue
+                _check_one(fn.__qualname__, name, value, shape, dtype, env)
+            result = fn(*args, **kwargs)
+            if "out" in parsed and result is not None:
+                shape, dtype = parsed["out"]
+                _check_one(fn.__qualname__, "return value", result, shape,
+                           dtype, env)
+            return result
+
+        wrapper.__contracts__ = dict(specs)
+        return wrapper
+
+    return decorate

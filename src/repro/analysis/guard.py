@@ -1,0 +1,107 @@
+"""Shared read-only table registry and the frozen-table context.
+
+Every ``lru_cache``'d numpy-table factory in the library (quadrature
+rules, SH transform tables, patch interpolation matrices, treecode cube
+surfaces, rotation-quadrature tables, ...) hands the same arrays to
+every cell / order / thread that asks. A single in-place write through
+any of those references would silently corrupt every other user — the
+exact shared-state hazard the executor determinism contract rules out.
+
+:func:`freeze` is the enforcement point: factories pass their arrays
+through it before returning, which (a) marks them non-writeable so a
+mutating caller gets an immediate ``ValueError`` instead of a silent
+corruption, and (b) registers them (by weak reference) in a
+process-wide table so the ``"checked"`` executor can flip every known
+shared table non-writeable for the duration of each ``map`` via
+:func:`tables_frozen` — including arrays some code path unfroze or
+registered without freezing.
+"""
+from __future__ import annotations
+
+import contextlib
+import weakref
+
+import numpy as np
+
+__all__ = ["DeterminismError", "freeze", "freeze_attributes",
+           "register_shared", "iter_shared_arrays", "tables_frozen"]
+
+
+class DeterminismError(RuntimeError):
+    """A mapped task violated the executor determinism contract."""
+
+
+#: weak references to every registered shared table (dead refs are
+#: pruned lazily on iteration).
+_shared: list = []
+
+
+def register_shared(arr: np.ndarray) -> np.ndarray:
+    """Register ``arr`` as a shared read-mostly table (no freezing)."""
+    _shared.append(weakref.ref(arr))
+    return arr
+
+
+def iter_shared_arrays():
+    """Yield the live registered shared tables, pruning dead refs."""
+    live = []
+    for ref in _shared:
+        arr = ref()
+        if arr is not None:
+            live.append(ref)
+            yield arr
+    _shared[:] = live
+
+
+def freeze(*arrays):
+    """Mark arrays read-only and register them as shared tables.
+
+    Returns the single array, or the tuple, so factories can ``return
+    freeze(x, w)`` directly. Non-array entries (e.g. ``None``) pass
+    through untouched.
+    """
+    out = []
+    for a in arrays:
+        if isinstance(a, np.ndarray):
+            a.setflags(write=False)
+            register_shared(a)
+        out.append(a)
+    return out[0] if len(out) == 1 else tuple(out)
+
+
+def freeze_attributes(obj) -> None:
+    """Freeze every ndarray attribute of ``obj`` (one level deep into
+    lists/tuples/dicts) — the class-instance variant of :func:`freeze`
+    for cached table bundles like the SH grids and rotation tables."""
+    for value in vars(obj).values():
+        if isinstance(value, np.ndarray):
+            freeze(value)
+        elif isinstance(value, (list, tuple)):
+            for item in value:
+                if isinstance(item, np.ndarray):
+                    freeze(item)
+        elif isinstance(value, dict):
+            for item in value.values():
+                if isinstance(item, np.ndarray):
+                    freeze(item)
+
+
+@contextlib.contextmanager
+def tables_frozen():
+    """Hold every registered shared table non-writeable for the scope.
+
+    Arrays already read-only (the normal state after :func:`freeze`) are
+    left alone; arrays found writable are flipped for the duration and
+    restored on exit. Re-entrant: the inner scope restores only what it
+    flipped.
+    """
+    flipped = []
+    for arr in iter_shared_arrays():
+        if arr.flags.writeable:
+            arr.setflags(write=False)
+            flipped.append(arr)
+    try:
+        yield
+    finally:
+        for arr in flipped:
+            arr.setflags(write=True)

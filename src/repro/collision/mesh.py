@@ -7,6 +7,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..analysis.guard import freeze
 from ..sph import SHTransform
 from ..sph.grid import get_grid
 from ..surfaces import SpectralSurface
@@ -90,7 +91,7 @@ def _grid_triangulation(nlat: int, nphi: int) -> np.ndarray:
     for j in range(nphi):
         tris.append((north, vid(0, j), vid(0, j + 1)))
         tris.append((south, vid(nlat - 1, j + 1), vid(nlat - 1, j)))
-    return np.asarray(tris, dtype=np.int64)
+    return freeze(np.asarray(tris, dtype=np.int64))
 
 
 def cell_collision_mesh(surface: SpectralSurface, object_id: int,
@@ -130,7 +131,7 @@ def _patch_triangulation(m: int) -> np.ndarray:
             d = (i + 1) * m + j + 1
             tris.append((a, c, b))
             tris.append((b, c, d))
-    return np.asarray(tris, dtype=np.int64)
+    return freeze(np.asarray(tris, dtype=np.int64))
 
 
 def patch_collision_mesh(patch: ChebPatch, object_id: int,

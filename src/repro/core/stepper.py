@@ -42,6 +42,7 @@ from ..physics.bending import implicit_operator_matrix
 from ..physics.tension import TensionSolver
 from ..physics.terms import (BackgroundFlow, Bending, CellState, ForceTerm,
                              Gravity, Tension)
+from ..analysis.contracts import set_debug_checks
 from ..runtime.executor import make_executor
 from ..surfaces import SpectralSurface
 from ..vesicle import SingularSelfInteraction
@@ -97,6 +98,10 @@ class TimeStepper:
         self.implicit_tol = implicit_tol
         self.implicit_max_iter = implicit_max_iter
         self.viscosity = self.options.viscosity
+        if self.options.debug_checks:
+            # Process-wide on purpose: the @checked seams live on shared
+            # module-level functions, not per-stepper state.
+            set_debug_checks(True)
         #: executor the per-cell stage tasks are mapped over.
         self.executor = make_executor(self.options.executor,
                                       self.options.workers)

@@ -16,6 +16,7 @@ from typing import Callable, Literal
 
 import numpy as np
 
+from ..analysis.guard import freeze
 from ..kernels import (
     laplace_slp_apply,
     laplace_slp_matrix,
@@ -49,7 +50,7 @@ def _cube_surface(e: int) -> np.ndarray:
             face[:, others[1]] = B.ravel()
             pts.append(face)
     pts = np.unique(np.round(np.vstack(pts), 12), axis=0)
-    return pts
+    return freeze(pts)
 
 
 def _fit_operator(kernel: KernelName, e: int, viscosity: float) -> np.ndarray:

@@ -22,6 +22,8 @@ from typing import Sequence
 
 import numpy as np
 
+from ..analysis.contracts import checked
+
 try:
     from scipy.linalg import lu_factor as _lu_factor, lu_solve as _lu_solve
     from scipy.linalg import get_lapack_funcs as _get_lapack_funcs
@@ -117,6 +119,7 @@ class StackedLUFactorization:
             return x
         return np.linalg.solve(self._matrices[i], rhs)
 
+    @checked(rhs="(k, n)", out="(k, n) f8")
     def solve(self, rhs: np.ndarray) -> np.ndarray:
         """Solve all systems against a ``(k, n)`` right-hand-side stack."""
         rhs = np.asarray(rhs, float)

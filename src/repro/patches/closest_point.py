@@ -123,5 +123,10 @@ def surface_closest_point(surface: PatchSurface, x: np.ndarray,
             best = ClosestPointResult(patch_index=pid, uv=uv, point=p,
                                       distance=dist, normal=nrm,
                                       patch_size=float(L[pid]))
-    assert best is not None
+    if best is None:
+        raise RuntimeError(
+            "closest-point query had no candidate patches to refine "
+            f"(surface has {len(surface.patches)} patches, candidates="
+            f"{candidates!r}) — the spatial-hash filter passed an empty "
+            "candidate list")
     return best

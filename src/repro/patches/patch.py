@@ -13,6 +13,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from ..analysis.guard import freeze
 from ..quadrature import clenshaw_curtis, tensor_clenshaw_curtis
 from ..quadrature.interpolation import (
     barycentric_matrix,
@@ -33,7 +34,7 @@ def cheb_diff_matrix(n: int) -> np.ndarray:
     dX = X - X.T
     D = np.outer(c, 1.0 / c) / (dX + np.eye(n))
     D -= np.diag(D.sum(axis=1))
-    return D
+    return freeze(D)
 
 
 @lru_cache(maxsize=64)
@@ -46,7 +47,7 @@ def _sub_interp_matrix(n: int, k: int):
         lo_u = -1.0 + 2.0 * bi / k
         targets_u = lo_u + (nodes + 1.0) / k
         Mu = barycentric_matrix(nodes, targets_u)
-        mats[bi] = Mu
+        mats[bi] = freeze(Mu)
     return mats
 
 

@@ -11,13 +11,15 @@ from functools import lru_cache
 
 import numpy as np
 
+from ..analysis.guard import freeze
+
 
 @lru_cache(maxsize=64)
 def _cc_cached(n: int) -> tuple[np.ndarray, np.ndarray]:
     if n < 1:
         raise ValueError("Clenshaw-Curtis rule needs at least one node")
     if n == 1:
-        return np.zeros(1), np.array([2.0])
+        return freeze(np.zeros(1), np.array([2.0]))
     # Chebyshev-Lobatto nodes x_k = cos(pi k / (n-1)), ascending order.
     k = np.arange(n)
     x = -np.cos(np.pi * k / (n - 1))
@@ -33,7 +35,7 @@ def _cc_cached(n: int) -> tuple[np.ndarray, np.ndarray]:
         w[i] = 2.0 / (n - 1) * (1.0 - s)
     w[0] *= 0.5
     w[-1] *= 0.5
-    return x, w
+    return freeze(x, w)
 
 
 def clenshaw_curtis(n: int) -> tuple[np.ndarray, np.ndarray]:

@@ -10,11 +10,13 @@ from functools import lru_cache
 
 import numpy as np
 
+from ..analysis.guard import freeze
+
 
 @lru_cache(maxsize=64)
 def _gl_cached(n: int) -> tuple[np.ndarray, np.ndarray]:
     x, w = np.polynomial.legendre.leggauss(int(n))
-    return x, w
+    return freeze(x, w)
 
 
 def gauss_legendre(n: int, a: float = -1.0, b: float = 1.0) -> tuple[np.ndarray, np.ndarray]:

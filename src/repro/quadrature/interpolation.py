@@ -12,6 +12,8 @@ from functools import lru_cache
 
 import numpy as np
 
+from ..analysis.guard import freeze
+
 
 def chebyshev_lobatto_nodes(n: int) -> np.ndarray:
     """Ascending Chebyshev-Lobatto nodes on [-1, 1] (the CC nodes)."""
@@ -29,7 +31,7 @@ def _bary_weights_cached(n: int) -> np.ndarray:
     w[0] = 0.5
     w[-1] = 0.5
     w *= (-1.0) ** np.arange(n)
-    return w
+    return freeze(w)
 
 
 def barycentric_weights(nodes: np.ndarray) -> np.ndarray:

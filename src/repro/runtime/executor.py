@@ -11,6 +11,8 @@ policy of *how* that map runs lives here:
 - :class:`ThreadPoolExecutor` — a persistent worker-thread pool. The
   per-cell tasks are numpy-GEMM-heavy (they release the GIL), so threads
   scale the dense stages on multi-core hosts without any serialization.
+- :class:`CheckedExecutor` — a verifying wrapper around either of the
+  above that *enforces* the determinism contract at runtime (see below).
 
 Determinism contract: :meth:`Executor.map` returns results ordered by
 input index, tasks touch disjoint per-cell state, and no executor ever
@@ -19,13 +21,29 @@ to the serial one regardless of worker count or interleaving. Callers
 that reduce over cells (e.g. the interaction backends) gather the mapped
 results first and fold them in fixed index order themselves.
 
+The contract is checked two ways. Statically, the ``repro_lint``
+determinism pass (``python -m repro_lint src/``) walks every
+``executor.map`` call site and verifies the task body only writes state
+indexed by the mapped item. Dynamically, ``executor="checked"`` wraps
+the real executor: during each ``map`` the shared cached tables
+(registered by :func:`repro.analysis.guard.freeze`) are flipped
+non-writeable so any task scribbling on cross-cell state raises, and a
+deterministic sample of the tasks is re-run afterwards to confirm
+bit-identical results. Violations raise
+:class:`repro.analysis.guard.DeterminismError`.
+
 Select via :class:`repro.config.NumericsOptions` (``executor`` /
 ``workers``) or construct directly with :func:`make_executor`.
 """
 from __future__ import annotations
 
 import concurrent.futures
-from typing import Callable, ClassVar, Dict, Iterable, List, Type, TypeVar
+import threading
+from typing import Callable, ClassVar, Dict, Iterable, List, Optional, Type, TypeVar
+
+import numpy as np
+
+from ..analysis.guard import DeterminismError, tables_frozen
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -109,25 +127,143 @@ class ThreadPoolExecutor(Executor):
     def __init__(self, workers: int = 2):
         super().__init__(workers=workers)
         self._pool: concurrent.futures.ThreadPoolExecutor | None = None
+        # Guards lazy creation and teardown: concurrent first maps (or a
+        # map racing a close) must agree on one pool, never leak a second.
+        self._pool_lock = threading.Lock()
 
     def _ensure_pool(self) -> concurrent.futures.ThreadPoolExecutor:
-        if self._pool is None:
-            self._pool = concurrent.futures.ThreadPoolExecutor(
+        """Caller must hold ``_pool_lock``."""
+        pool = self._pool
+        if pool is None:
+            pool = concurrent.futures.ThreadPoolExecutor(
                 max_workers=self.workers,
                 thread_name_prefix="repro-cell")
-        return self._pool
+            self._pool = pool
+        return pool
 
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
         items = list(items)
         if len(items) <= 1:
             # Nothing to overlap; skip the submission round-trip.
             return [fn(x) for x in items]
-        pool = self._ensure_pool()
-        futures = [pool.submit(fn, x) for x in items]
+        # Submission happens under the lock so a concurrent close() can
+        # never shut the pool down mid-submit: it either runs before (we
+        # build a fresh pool) or after (shutdown waits for our futures).
+        # Only submission is serialized; the tasks overlap freely.
+        with self._pool_lock:
+            pool = self._ensure_pool()
+            futures = [pool.submit(fn, x) for x in items]
         # result() re-raises task exceptions; gather strictly by index.
         return [f.result() for f in futures]
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
+        with self._pool_lock:
+            pool = self._pool
             self._pool = None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+
+def _bit_identical(a, b) -> bool:
+    """Whether two task results are bitwise the same.
+
+    Arrays compare by shape, dtype and raw bytes (NaNs included — the
+    contract is *bit* identity, not numeric equality); containers
+    recurse; objects without a meaningful equality are skipped (True).
+    """
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        a = np.asarray(a)
+        b = np.asarray(b)
+        return (a.shape == b.shape and a.dtype == b.dtype
+                and a.tobytes() == b.tobytes())
+    if isinstance(a, (tuple, list)):
+        return (type(a) is type(b) and len(a) == len(b)
+                and all(_bit_identical(x, y) for x, y in zip(a, b)))
+    if isinstance(a, dict):
+        return (isinstance(b, dict) and a.keys() == b.keys()
+                and all(_bit_identical(a[k], b[k]) for k in a))
+    if isinstance(a, (bool, int, float, complex, str, bytes, type(None))):
+        return a == b or (a != a and b != b)   # NaN floats count as equal
+    return True                                 # opaque object: no claim
+
+
+@register_executor
+class CheckedExecutor(Executor):
+    """Contract-enforcing wrapper around a real executor.
+
+    Runs every ``map`` through an inner executor (serial for
+    ``workers=1``, the thread pool otherwise, or any explicit ``inner``)
+    with two runtime checks layered on top:
+
+    1. *Frozen shared tables.* For the duration of the map, every cached
+       table registered via :func:`repro.analysis.guard.freeze` is
+       flipped non-writeable, so a task that writes shared state through
+       a cached array raises immediately instead of silently corrupting
+       the other cells. The resulting ``read-only`` ``ValueError`` is
+       re-raised as :class:`~repro.analysis.guard.DeterminismError`.
+    2. *Rerun sampling.* After the map, a deterministic sample of the
+       tasks (first, last, and evenly spaced up to
+       :data:`RERUN_SAMPLES`) is executed a second time and the results
+       compared bit-for-bit. A task whose repeat diverges depends on
+       mutable cross-task state (ordering, accumulation, hidden caches)
+       and violates the contract. Only tasks that returned a value are
+       re-run: a ``None``-returning task is a stateful mutator (e.g. the
+       stepper's refresh stage) whose repeat would advance its own
+       amortization counters.
+
+    The overhead is one extra task execution per sampled index — meant
+    for validation runs and CI scenes, not production stepping.
+    """
+
+    name = "checked"
+
+    #: how many mapped tasks are re-executed per map (deterministic
+    #: evenly-spaced sample, capped by the number of eligible tasks).
+    RERUN_SAMPLES = 2
+
+    def __init__(self, workers: int = 1, inner: Optional[Executor] = None):
+        super().__init__(workers=workers)
+        if inner is None:
+            inner = (SerialExecutor(workers=1) if workers == 1
+                     else ThreadPoolExecutor(workers=workers))
+        self.inner = inner
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        items = list(items)
+        with tables_frozen():
+            try:
+                results = self.inner.map(fn, items)
+            except ValueError as e:
+                if "read-only" in str(e):
+                    raise DeterminismError(
+                        "task wrote to a frozen shared table during "
+                        f"{type(self.inner).__name__}.map — per-cell tasks "
+                        "must only write state owned by their own item"
+                    ) from e
+                raise
+            for i in self._sample_indices(results):
+                repeat = fn(items[i])
+                if not _bit_identical(results[i], repeat):
+                    raise DeterminismError(
+                        f"task {i} is not deterministic: re-running it "
+                        "produced a different result, so the map depends "
+                        "on mutable cross-task state")
+        return results
+
+    def _sample_indices(self, results: List[R]) -> List[int]:
+        eligible = [i for i, r in enumerate(results) if r is not None]
+        k = min(self.RERUN_SAMPLES, len(eligible))
+        if k == 0:
+            return []
+        # Evenly spaced over the eligible tasks, endpoints included.
+        if k == 1:
+            return [eligible[0]]
+        pos = [round(j * (len(eligible) - 1) / (k - 1)) for j in range(k)]
+        return sorted({eligible[p] for p in pos})
+
+    def close(self) -> None:
+        self.inner.close()
+
+    def options(self) -> dict:
+        return {"executor": self.name, "workers": self.workers,
+                "inner": self.inner.name}

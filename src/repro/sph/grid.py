@@ -5,6 +5,7 @@ from functools import lru_cache
 
 import numpy as np
 
+from ..analysis.guard import freeze_attributes
 from ..quadrature import gauss_legendre
 
 
@@ -40,6 +41,10 @@ class SphGrid:
         #: Jacobian is already folded into the Gauss-Legendre weights since
         #: they integrate in x = cos(theta).
         self.weights = np.outer(self.glw, np.full(self.nphi, 2.0 * np.pi / self.nphi))
+        # Instances are shared through get_grid's cache: mark every table
+        # read-only so a caller mutating one would fail loudly instead of
+        # corrupting all other users of this order.
+        freeze_attributes(self)
 
     @property
     def n_points(self) -> int:

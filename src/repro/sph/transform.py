@@ -22,6 +22,8 @@ from functools import lru_cache
 
 import numpy as np
 
+from ..analysis.contracts import checked
+from ..analysis.guard import freeze, freeze_attributes
 from .alp import (
     normalized_alp,
     normalized_alp_theta_derivative,
@@ -59,6 +61,9 @@ class _TransformTables:
         self.A_lat = self.S_val * grid.glw[None, :]
         self._analysis_dense = None
         self._synthesis_dense = None
+        # One table set per order, shared by every transform/surface of
+        # that order via the _transform_tables cache: freeze them.
+        freeze_attributes(self)
 
     def synthesis_tab(self, which: str) -> tuple[np.ndarray, np.ndarray]:
         """(latitude matrix, per-coefficient phi factor) for a derivative."""
@@ -87,7 +92,8 @@ class _TransformTables:
             phase = np.exp(-1j * np.outer(self.ms, grid.phi))  # (ncoef, nphi)
             A = (self.A_lat[:, :, None] * phase[:, None, :]
                  * (2.0 * np.pi / grid.nphi))
-            self._analysis_dense = A.reshape(self.ms.size, grid.n_points)
+            self._analysis_dense = freeze(
+                A.reshape(self.ms.size, grid.n_points))
         return self._analysis_dense
 
     def synthesis_dense(self) -> np.ndarray:
@@ -97,7 +103,7 @@ class _TransformTables:
             grid = self.grid
             phase = np.exp(1j * np.outer(self.ms, grid.phi))
             S = self.S_val[:, :, None] * phase[:, None, :]
-            self._synthesis_dense = (
+            self._synthesis_dense = freeze(
                 S.reshape(self.ms.size, grid.n_points).T.copy())
         return self._synthesis_dense
 
@@ -122,6 +128,7 @@ class SHTransform:
                                         self._tab.d2P)
 
     # -- analysis ---------------------------------------------------------
+    @checked(f="(..., nlat, nphi)", out="(..., nlat, m) c16")
     def forward(self, f: np.ndarray) -> np.ndarray:
         """Forward SHT of a real or complex field of shape (..., nlat, nphi).
 

@@ -16,6 +16,8 @@ from typing import Optional
 
 import numpy as np
 
+from ..analysis.contracts import checked
+from ..analysis.guard import freeze
 from ..sph import SHTransform, get_transform
 from ..sph.grid import SphGrid
 
@@ -73,11 +75,12 @@ def _grid_operator_matrices(p: int, q: int) -> dict:
         return M.reshape(nls * nps, nla * npa)
 
     return {
-        "up_theta": compose(dPq, Pp, gp.glw, Dqp, p, p),
-        "up_phi": compose(Pq, Pp, gp.glw, Dqp, p, p, phi_deriv=True),
-        "down": compose(Pp, Pq, gq.glw, -Dqp.T, p, p),
-        "theta_q": compose(dPq, Pq, gq.glw, Dqq, q, q),
-        "dphi_rows": _phi_derivative_rows(np.eye(gq.nphi)),
+        "up_theta": freeze(compose(dPq, Pp, gp.glw, Dqp, p, p)),
+        "up_phi": freeze(compose(Pq, Pp, gp.glw, Dqp, p, p,
+                                 phi_deriv=True)),
+        "down": freeze(compose(Pp, Pq, gq.glw, -Dqp.T, p, p)),
+        "theta_q": freeze(compose(dPq, Pq, gq.glw, Dqq, q, q)),
+        "dphi_rows": freeze(_phi_derivative_rows(np.eye(gq.nphi))),
     }
 
 
@@ -94,7 +97,7 @@ def bandlimit_projector(p: int) -> np.ndarray:
     right-hand sides and operator ranges are band-limited).
     """
     T = get_transform(p)
-    return (T.synthesis_matrix() @ T.analysis_matrix()).real
+    return freeze((T.synthesis_matrix() @ T.analysis_matrix()).real)
 
 
 @dataclasses.dataclass
@@ -482,16 +485,19 @@ class SpectralSurface:
         self._dense_ops = {"grad": grad, "div": div, "lb": lb}
         return self._dense_ops
 
+    @checked(out="(3*N, N) f8")
     def surface_gradient_matrix(self) -> np.ndarray:
         """Dense (3N, N) operator: scalar grid field -> tangential
         gradient field, both raveled in grid order (cached per geometry)."""
         return self._dense_operator_tables()["grad"]
 
+    @checked(out="(N, 3*N) f8")
     def surface_divergence_matrix(self) -> np.ndarray:
         """Dense (N, 3N) operator: raveled vector grid field -> surface
         divergence (cached per geometry)."""
         return self._dense_operator_tables()["div"]
 
+    @checked(out="(N, N) f8")
     def laplace_beltrami_matrix(self) -> np.ndarray:
         """Dense (N, N) Laplace-Beltrami operator on scalar grid fields
         (cached per geometry)."""

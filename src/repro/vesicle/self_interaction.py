@@ -66,6 +66,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..analysis.guard import freeze, freeze_attributes
 from ..quadrature import gauss_legendre
 from ..sph.alp import normalized_alp_theta_derivative
 from ..sph.grid import get_grid
@@ -183,6 +184,9 @@ class _RotationTables:
         self._fused_lock = threading.Lock()
         self._circ_lock = threading.Lock()
         self._budget_warned = False
+        # One table set per (p, q_rot), shared by every same-order cell
+        # through the _rotation_tables cache: mark everything read-only.
+        freeze_attributes(self)
 
     #: byte budget of the fused (nlat, nphi, nrot, N) composition table;
     #: 71 MB at order 8, ~240 MB at order 10, prohibitive beyond — higher
@@ -229,7 +233,7 @@ class _RotationTables:
                 for t in range(grid.nphi):
                     PA = self.phases[:, t, None] * A       # (ncoef, N)
                     D[:, t] = (self.B_val @ PA).real.transpose(0, 2, 1)
-                self._fused = D
+                self._fused = freeze(D)
         return self._fused
 
     def circulant_tables(self) -> dict:
@@ -330,12 +334,14 @@ class _RotationTables:
                     (-fac[:, None, None]
                      * np.sin(marr[:, None, None] * dphi)).transpose(1, 0, 2))
                 self._circ = {
-                    "syn": syn,
-                    "Ec_even": np.ascontiguousarray(Ec_even),
-                    "Ec_odd": np.ascontiguousarray(Ec_odd),
-                    "Ci": Ci, "Si": Si,
-                    "mCi": marr[:, None] * Ci, "mSi": marr[:, None] * Si,
-                    "Einv_cos": Einv_cos, "Einv_sin": Einv_sin,
+                    "syn": [freeze(s) for s in syn],
+                    "Ec_even": freeze(np.ascontiguousarray(Ec_even)),
+                    "Ec_odd": freeze(np.ascontiguousarray(Ec_odd)),
+                    "Ci": freeze(Ci), "Si": freeze(Si),
+                    "mCi": freeze(marr[:, None] * Ci),
+                    "mSi": freeze(marr[:, None] * Si),
+                    "Einv_cos": freeze(Einv_cos),
+                    "Einv_sin": freeze(Einv_sin),
                     "npsi": npsi, "nalpha": nal,
                 }
         return self._circ

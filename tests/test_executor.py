@@ -251,3 +251,163 @@ class TestFarfieldFloat32:
                           numerics=NumericsOptions(farfield_dtype="float32"))
         with pytest.raises(ValueError, match="farfield_dtype"):
             Simulation(cells, config=cfg, backend=be)
+
+
+class TestCheckedExecutor:
+    def test_registry_and_inner_selection(self):
+        from repro.runtime.executor import CheckedExecutor
+        assert "checked" in EXECUTORS
+        ex1 = make_executor("checked", workers=1)
+        assert isinstance(ex1, CheckedExecutor)
+        assert isinstance(ex1.inner, SerialExecutor)
+        ex4 = make_executor("checked", workers=4)
+        assert isinstance(ex4.inner, ThreadPoolExecutor)
+        assert ex4.inner.workers == 4
+        ex4.close()
+
+    def test_plain_map_matches_serial(self):
+        ex = make_executor("checked", workers=2)
+        try:
+            assert ex.map(lambda x: x * x, range(10)) == \
+                [x * x for x in range(10)]
+        finally:
+            ex.close()
+
+    def test_bit_identical_on_reference_scene(self):
+        """Acceptance: the checked executor completes the 6-cell order-8
+        scene bit-identically to serial — the verifying wrapper (frozen
+        tables + sampled re-runs) must not perturb the physics."""
+        serial = _scene(ncells=6, order=8)
+        checked = _scene(ncells=6, order=8, executor="checked", workers=4)
+        serial.run(3)
+        checked.run(3)
+        assert _max_dev(serial, checked) == 0.0
+        assert [r.implicit_iterations for r in serial.history] == \
+            [r.implicit_iterations for r in checked.history]
+
+    def test_detects_shared_cache_write(self):
+        """A task scribbling on a registered shared table raises
+        DeterminismError instead of silently corrupting other cells."""
+        from repro.analysis.guard import DeterminismError, register_shared
+        shared = register_shared(np.zeros(8))
+
+        def task(i):
+            shared[0] += i          # cross-task accumulator: forbidden
+            return i
+
+        ex = make_executor("checked", workers=1)
+        try:
+            with pytest.raises(DeterminismError, match="frozen shared"):
+                ex.map(task, range(4))
+        finally:
+            ex.close()
+        assert shared.flags.writeable       # restored despite the raise
+        assert shared[0] == 0.0             # nothing leaked through
+
+    def test_detects_nondeterministic_task(self):
+        """A task whose output depends on call count fails the sampled
+        re-run check."""
+        from repro.analysis.guard import DeterminismError
+        state = {"n": 0}
+
+        def task(i):
+            state["n"] += 1
+            return np.array([float(state["n"])])
+
+        ex = make_executor("checked", workers=1)
+        try:
+            with pytest.raises(DeterminismError, match="not deterministic"):
+                ex.map(task, range(4))
+        finally:
+            ex.close()
+
+    def test_none_results_not_rerun(self):
+        """Stateful mutators returning None (e.g. _refresh_after_step)
+        are exempt from the re-run sample: re-running them would advance
+        their internal counters."""
+        calls = []
+
+        def task(i):
+            calls.append(i)
+            return None
+
+        ex = make_executor("checked", workers=1)
+        try:
+            assert ex.map(task, range(4)) == [None] * 4
+        finally:
+            ex.close()
+        assert calls == [0, 1, 2, 3]        # exactly once each
+
+
+class TestThreadPoolLifecycle:
+    def test_concurrent_first_map_creates_one_pool(self, monkeypatch):
+        """N threads hitting a fresh executor's map() simultaneously must
+        agree on a single pool — the lazy _ensure_pool is locked."""
+        import concurrent.futures as futures
+        import threading
+
+        real = futures.ThreadPoolExecutor
+        created = []
+
+        class CountingPool(real):
+            def __init__(self, *a, **kw):
+                created.append(1)
+                super().__init__(*a, **kw)
+
+        monkeypatch.setattr(futures, "ThreadPoolExecutor", CountingPool)
+        ex = ThreadPoolExecutor(workers=2)
+        n = 8
+        barrier = threading.Barrier(n)
+        results = [None] * n
+
+        def hammer(k):
+            barrier.wait()
+            results[k] = ex.map(lambda x: x + k, range(4))
+
+        threads = [threading.Thread(target=hammer, args=(k,))
+                   for k in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        ex.close()
+        assert len(created) == 1
+        assert all(results[k] == [x + k for x in range(4)]
+                   for k in range(n))
+
+    def test_close_is_idempotent_and_reopens(self):
+        ex = ThreadPoolExecutor(workers=2)
+        assert ex.map(lambda x: x, range(4)) == [0, 1, 2, 3]
+        ex.close()
+        ex.close()                           # second close is a no-op
+        # a map after close lazily builds a fresh pool
+        assert ex.map(lambda x: x * 2, range(4)) == [0, 2, 4, 6]
+        ex.close()
+
+    def test_map_racing_close(self):
+        """close() during concurrent maps never deadlocks or drops
+        results; maps either reuse the old pool or build a new one."""
+        import threading
+        ex = ThreadPoolExecutor(workers=2)
+        stop = threading.Event()
+        errors = []
+
+        def mapper():
+            while not stop.is_set():
+                try:
+                    out = ex.map(lambda x: x * x, range(8))
+                    assert out == [x * x for x in range(8)]
+                except Exception as e:      # pragma: no cover
+                    errors.append(e)
+                    return
+
+        threads = [threading.Thread(target=mapper) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for _ in range(20):
+            ex.close()
+        stop.set()
+        for t in threads:
+            t.join()
+        ex.close()
+        assert errors == []

@@ -1,0 +1,319 @@
+"""Fixture-based self-tests of the ``repro_lint`` static-analysis passes.
+
+Each rule gets a seeded violation (must fire), the fixed form (must
+pass), and a suppression check. The final test pins the acceptance
+criterion: the linter runs clean on the shipped ``src/`` tree.
+"""
+import pathlib
+import sys
+
+import pytest
+
+_ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(_ROOT / "tools"))
+
+from repro_lint import lint_paths, lint_source          # noqa: E402
+from repro_lint.__main__ import main as lint_main       # noqa: E402
+
+
+def rules_of(source: str):
+    return sorted({v.rule for v in lint_source("fixture.py", source)})
+
+
+def lines_of(source: str, rule: str):
+    return [v.line for v in lint_source("fixture.py", source)
+            if v.rule == rule]
+
+
+class TestDeterminismPass:
+    def test_shared_attribute_write_fires(self):
+        src = """
+class Stepper:
+    def run(self):
+        return self.executor.map(self._task, range(3))
+
+    def _task(self, i):
+        self.count = i
+        return i
+"""
+        assert rules_of(src) == ["shared-write"]
+
+    def test_item_indexed_write_passes(self):
+        src = """
+class Stepper:
+    def run(self):
+        return self.executor.map(self._task, range(3))
+
+    def _task(self, i):
+        self._state[i] = i * 2.0
+        return i
+"""
+        assert rules_of(src) == []
+
+    def test_loop_invariant_subscript_fires(self):
+        src = """
+class Stepper:
+    def run(self):
+        return self.executor.map(self._task, range(3))
+
+    def _task(self, i):
+        self._acc[0] = i
+        return i
+"""
+        assert rules_of(src) == ["shared-write"]
+
+    def test_lambda_task_resolves_method(self):
+        src = """
+class Stepper:
+    def run(self):
+        return self.executor.map(lambda i: self._upd(i, 2.0), range(3))
+
+    def _upd(self, i, dt):
+        self.scale = dt
+        return i
+"""
+        assert rules_of(src) == ["shared-write"]
+
+    def test_local_def_task_and_taint_through_assignment(self):
+        src = """
+class Stepper:
+    def run(self):
+        def task(i):
+            cell = self.cells[i]
+            cell.values = 0.0          # derived from the item: fine
+            self.cells[i].flag = True  # ditto
+            return cell
+        return self.executor.map(task, range(3))
+"""
+        assert rules_of(src) == []
+
+    def test_write_under_lock_passes(self):
+        src = """
+class Tables:
+    def build(self):
+        return self.executor.map(self._get, range(3))
+
+    def _get(self, i):
+        if self._fused is None:
+            with self._fused_lock:
+                self._fused = 1.0
+        return self._fused
+"""
+        assert rules_of(src) == []
+
+    def test_thread_local_write_passes(self):
+        src = """
+class Timers:
+    def run(self):
+        return self.executor.map(self._task, range(3))
+
+    def _task(self, i):
+        self._local.stack = i
+        self._local.frames.append(i)
+        return i
+"""
+        assert rules_of(src) == []
+
+    def test_mutator_call_on_shared_receiver_fires(self):
+        src = """
+class Stepper:
+    def run(self):
+        return self.executor.map(self._task, range(3))
+
+    def _task(self, i):
+        self.log.append(i)
+        return i
+"""
+        assert rules_of(src) == ["shared-write"]
+
+    def test_closure_nonlocal_accumulator_fires(self):
+        src = """
+class Stepper:
+    def run(self):
+        total = 0
+        def task(i):
+            nonlocal total
+            total += i
+            return i
+        return self.executor.map(task, range(3))
+"""
+        assert rules_of(src) == ["shared-write"]
+
+    def test_base_class_method_resolution(self):
+        """A task in a base class calling an overridden method defined in
+        a same-module subclass is followed into the override."""
+        src = """
+class Backend:
+    def run(self):
+        return self.executor.map(lambda j: self._vel(j), range(3))
+
+    def _vel(self, j):
+        raise NotImplementedError
+
+class Direct(Backend):
+    def _vel(self, j):
+        self.cache = j          # shared write in the override
+        return j
+"""
+        assert "shared-write" in rules_of(src)
+
+
+class TestHygienePass:
+    def test_unfrozen_lru_table_fires(self):
+        src = """
+import numpy as np
+from functools import lru_cache
+
+@lru_cache(maxsize=4)
+def table(n):
+    t = np.linspace(0.0, 1.0, n)
+    return t
+"""
+        assert rules_of(src) == ["frozen-table"]
+
+    def test_frozen_lru_table_passes(self):
+        src = """
+import numpy as np
+from functools import lru_cache
+from repro.analysis.guard import freeze
+
+@lru_cache(maxsize=4)
+def table(n):
+    t = np.linspace(0.0, 1.0, n)
+    return freeze(t)
+"""
+        assert rules_of(src) == []
+
+    def test_lru_class_factory_requires_freezing_init(self):
+        bad = """
+import numpy as np
+from functools import lru_cache
+
+class Tables:
+    def __init__(self, n):
+        self.t = np.linspace(0.0, 1.0, n)
+
+@lru_cache(maxsize=4)
+def tables(n):
+    return Tables(n)
+"""
+        good = bad.replace(
+            "self.t = np.linspace(0.0, 1.0, n)",
+            "self.t = np.linspace(0.0, 1.0, n); freeze_attributes(self)")
+        assert rules_of(bad) == ["frozen-table"]
+        assert rules_of(good) == []
+
+    def test_assert_and_bare_except_and_mutable_default(self):
+        src = """
+def f(x=[]):
+    try:
+        assert x
+    except:
+        pass
+"""
+        assert rules_of(src) == ["bare-except", "mutable-default",
+                                 "no-assert"]
+
+    def test_literal_float32_cast_fires(self):
+        src = """
+import numpy as np
+
+def f(x):
+    a = x.astype(np.float32)
+    b = np.zeros(3, dtype="float32")
+    return a, b
+"""
+        assert lines_of(src, "float32-cast") == [5, 6]
+
+    def test_parameter_driven_dtype_passes(self):
+        """The sanctioned farfield_dtype pattern: the working dtype flows
+        through a variable, never a literal cast."""
+        src = """
+import numpy as np
+
+def f(x, dtype=None):
+    work = np.float32 if dtype in ("float32", np.float32) else np.float64
+    return x.astype(work, copy=False)
+"""
+        assert rules_of(src) == []
+
+
+class TestContractsPass:
+    def test_conflicting_literal_dtype_fires(self):
+        src = """
+import numpy as np
+from repro.analysis.contracts import checked
+
+@checked(x="(n, 3) f8", out="(n,) f8")
+def f(x):
+    out = np.empty(x.shape[0], dtype=np.int32)
+    return out
+"""
+        assert rules_of(src) == ["contract-dtype"]
+
+    def test_matching_and_variable_dtypes_pass(self):
+        src = """
+import numpy as np
+from repro.analysis.contracts import checked
+
+@checked(x="(n, 3) f8", out="(n,) f8")
+def f(x, work=np.float64):
+    out = np.empty(x.shape[0], dtype=np.float64)
+    tmp = out.astype(work)                   # variable dtype: fine
+    return out
+"""
+        assert rules_of(src) == []
+
+
+class TestSuppressions:
+    SRC = """
+def f(x):
+    assert x
+"""
+
+    def test_inline_suppression_with_reason(self):
+        src = self.SRC.replace(
+            "assert x",
+            "assert x  # repro-lint: disable=no-assert — exercised by "
+            "test fixtures only")
+        assert rules_of(src) == []
+
+    def test_standalone_suppression_covers_next_line(self):
+        src = """
+def f(x):
+    # repro-lint: disable=no-assert — fixture
+    assert x
+"""
+        assert rules_of(src) == []
+
+    def test_missing_reason_is_itself_a_violation(self):
+        src = self.SRC.replace(
+            "assert x", "assert x  # repro-lint: disable=no-assert")
+        assert rules_of(src) == ["bad-suppression", "no-assert"]
+
+    def test_wrong_rule_does_not_suppress(self):
+        src = self.SRC.replace(
+            "assert x",
+            "assert x  # repro-lint: disable=bare-except — wrong rule")
+        assert rules_of(src) == ["no-assert"]
+
+
+class TestAcceptance:
+    def test_src_tree_is_clean(self):
+        assert lint_paths([str(_ROOT / "src")]) == []
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("assert True\n")
+        assert lint_main([str(clean)]) == 0
+        assert lint_main([str(dirty)]) == 1
+        out = capsys.readouterr().out
+        assert "no-assert" in out
+
+    def test_cli_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ("shared-write", "frozen-table", "contract-dtype"):
+            assert rule in out

@@ -1,0 +1,109 @@
+"""Array-contract cross-check pass (rule ``contract-dtype``).
+
+``@checked(...)`` declarations are verified dynamically only when debug
+checks are on; this pass catches the cheap static half at lint time: a
+function whose contract declares a return dtype must not build the
+returned array with a conflicting *literal* dtype (``np.empty(...,
+dtype=np.float32)`` under an ``out="... f8"`` contract). Dtypes that
+flow through variables are ignored — that is the sanctioned
+``farfield_dtype`` pattern, checked at runtime instead.
+"""
+from __future__ import annotations
+
+import ast
+import re
+from typing import Optional
+
+from .base import Violation
+
+#: literal dtype expression -> numpy char code, as used in contract specs.
+_DTYPE_CODES = {
+    "float32": "f4", "float64": "f8", "float": "f8",
+    "complex64": "c8", "complex128": "c16", "complex": "c16",
+    "int32": "i4", "int64": "i8", "int": "i8",
+    "bool": "b1", "bool_": "b1",
+    "f4": "f4", "f8": "f8", "c8": "c8", "c16": "c16",
+    "i4": "i4", "i8": "i8",
+}
+
+_SPEC_DTYPE_RE = re.compile(r"^(?:\([^)]*\))?\s*(\S+)?\s*$")
+
+
+def _spec_dtype(spec: str) -> Optional[str]:
+    m = _SPEC_DTYPE_RE.match(spec.strip())
+    if not m or not m.group(1):
+        return None
+    return _DTYPE_CODES.get(m.group(1))
+
+
+def _literal_dtype(node: ast.AST) -> Optional[str]:
+    """Code of a literal dtype expression; None when it is not literal."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return _DTYPE_CODES.get(node.value)
+    if isinstance(node, ast.Attribute):
+        return _DTYPE_CODES.get(node.attr)
+    if isinstance(node, ast.Name):
+        return _DTYPE_CODES.get(node.id)
+    return None
+
+
+def _checked_specs(fn: ast.FunctionDef) -> Optional[dict[str, str]]:
+    for dec in fn.decorator_list:
+        if isinstance(dec, ast.Call):
+            target = dec.func
+            name = (target.attr if isinstance(target, ast.Attribute)
+                    else getattr(target, "id", None))
+            if name == "checked":
+                return {kw.arg: kw.value.value for kw in dec.keywords
+                        if kw.arg is not None
+                        and isinstance(kw.value, ast.Constant)
+                        and isinstance(kw.value.value, str)}
+    return None
+
+
+def check_contracts(path: str, tree: ast.Module,
+                    source: str) -> list[Violation]:
+    out: list[Violation] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.FunctionDef):
+            continue
+        specs = _checked_specs(node)
+        if not specs:
+            continue
+        out_dtype = _spec_dtype(specs.get("out", ""))
+        if out_dtype is None:
+            continue
+        # Names the function returns, and the literal dtypes they were
+        # constructed or cast with.
+        returned: set[str] = set()
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Return) and \
+                    isinstance(sub.value, ast.Name):
+                returned.add(sub.value.id)
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Assign):
+                continue
+            names = {t.id for t in sub.targets if isinstance(t, ast.Name)}
+            if not (names & returned):
+                continue
+            built = _construction_dtype(sub.value)
+            if built is not None and built != out_dtype:
+                out.append(Violation(
+                    path, sub.lineno, "contract-dtype",
+                    f"'{node.name}' declares out dtype {out_dtype!r} but "
+                    f"builds the returned array with literal dtype "
+                    f"{built!r}"))
+    return out
+
+
+def _construction_dtype(value: ast.AST) -> Optional[str]:
+    """Literal dtype a construction/cast pins the result to, if any."""
+    if not isinstance(value, ast.Call):
+        return None
+    fn = value.func
+    if isinstance(fn, ast.Attribute) and fn.attr == "astype" and value.args:
+        return _literal_dtype(value.args[0])
+    for kw in value.keywords:
+        if kw.arg == "dtype":
+            return _literal_dtype(kw.value)
+    return None
