@@ -18,7 +18,7 @@ so the speed/accuracy trade is recorded next to the timing.
 
 Run:  PYTHONPATH=src python benchmarks/bench_step_breakdown.py
       [--steps N] [--reduced | --all] [--out PATH] [--workers N]
-      [--check-against BASELINE.json]
+      [--workers-sweep] [--backends] [--check-against BASELINE.json]
 
 ``--reduced`` runs a 2-cell order-6 variant for CI smoke runs; ``--all``
 runs both variants into one file (the committed-baseline format).
@@ -36,11 +36,21 @@ fused/circulant speedup ratio against the committed baseline, so the
 numerics on the ``"thread"`` executor with N workers) and records its
 trajectory deviation against the serial run — the executor contract
 makes that deviation exactly 0.0, so the row doubles as a determinism
-check. ``--check-against`` compares the default-config (serial) ms/step
-of the matching scene against a previously committed
-``BENCH_step.json`` and exits nonzero on a regression beyond
-``REGRESSION_TOLERANCE``; the threaded row is informational and never
-gated (thread scaling is host-dependent).
+check. ``--workers-sweep`` times the threaded executor at workers in {1, 2, 4,
+8} and records ms/step per worker count — the data behind the default
+``NumericsOptions.workers`` policy (serial unless the host has spare
+physical cores; see the field's docstring). ``--backends`` adds an
+interaction-backend comparison row (``backend_compare``): the stacked
+``cell_cell`` sum of a many-cell lattice timed under ``direct``,
+``treecode`` and ``fmm`` with each accelerated backend's relative error
+against ``direct`` — 64 cells at order 8 on the full variant, 16 cells
+at order 6 on the reduced (CI) variant. ``--check-against`` compares the
+default-config (serial) ms/step of the matching scene against a
+previously committed ``BENCH_step.json`` and exits nonzero on a
+regression beyond ``REGRESSION_TOLERANCE``; the ``fmm`` comparison time
+is gated the same way (the O(N) backend must not quietly regress), while
+the threaded and workers-sweep rows are informational and never gated
+(thread scaling is host-dependent).
 """
 from __future__ import annotations
 
@@ -147,6 +157,41 @@ def bench_selfop_assembly(order: int, ncells: int, reps: int = 9) -> dict:
     }
 
 
+#: Worker counts of the ``--workers-sweep`` rows.
+WORKERS_SWEEP = (1, 2, 4, 8)
+
+
+def backend_compare(order: int, ncells: int, seed: int = 3) -> dict:
+    """Time ``prepare + cell_cell`` of every interaction backend on an
+    ``ncells``-cell lattice with a fixed random force density, and
+    measure the accelerated backends' error against ``direct``."""
+    from repro.core.interactions import make_backend
+
+    rng = np.random.default_rng(seed)
+    spacing = 2.4
+    cells = [biconcave_rbc(
+        1.0, center=(spacing * (k % 4), spacing * ((k // 4) % 4),
+                     spacing * (k // 16) + 0.05 * (-1.0) ** k),
+        order=order) for k in range(ncells)]
+    forces = [rng.normal(size=(c.n_points, 3)) for c in cells]
+    out = {"order": order, "ncells": ncells}
+    results = {}
+    for name in ("direct", "treecode", "fmm"):
+        be = make_backend(name).bind(cells, 1.0)
+        be.prepare(forces)          # warm the per-cell evaluator caches
+        t0 = time.perf_counter()
+        be.prepare(forces)
+        results[name] = be.cell_cell()
+        out[name + "_ms"] = round(1e3 * (time.perf_counter() - t0), 1)
+    ref = results["direct"]
+    norm = sum(float(np.linalg.norm(y)) ** 2 for y in ref) ** 0.5
+    for name in ("treecode", "fmm"):
+        err = sum(float(np.linalg.norm(x - y)) ** 2
+                  for x, y in zip(results[name], ref)) ** 0.5
+        out[name + "_rel_vs_direct"] = float(err / norm)
+    return out
+
+
 def _timed_run(order: int, ncells: int, steps: int, interval: int,
                executor: str = "serial", workers: int = 1):
     sim = build_scene(order=order, ncells=ncells,
@@ -160,7 +205,8 @@ def _timed_run(order: int, ncells: int, steps: int, interval: int,
     return sim, round(1e3 * elapsed / steps, 2), breakdown
 
 
-def run_scene(steps: int, reduced: bool, workers: int = 0) -> dict:
+def run_scene(steps: int, reduced: bool, workers: int = 0,
+              workers_sweep: bool = False, backends: bool = False) -> dict:
     order, ncells = (6, 2) if reduced else (8, 6)
     sim, ms, breakdown = _timed_run(order, ncells, steps, 1)
     sim_a, ms_a, breakdown_a = _timed_run(order, ncells, steps,
@@ -195,11 +241,22 @@ def run_scene(steps: int, reduced: bool, workers: int = 0) -> dict:
             # make the threaded trajectory bit-identical to serial.
             "max_traj_deviation_vs_serial": dev_t,
         }
+    if workers_sweep:
+        sweep = {}
+        for w in WORKERS_SWEEP:
+            _, ms_w, _ = _timed_run(order, ncells, steps, 1,
+                                    executor="thread", workers=w)
+            sweep[str(w)] = ms_w
+        out["workers_sweep_ms_per_step"] = sweep
+    if backends:
+        out["backend_compare"] = backend_compare(
+            *((6, 16) if reduced else (8, 64)))
     return out
 
 
 def run(steps: int, variants: list[bool], out_path: str,
-        workers: int = 0) -> dict:
+        workers: int = 0, workers_sweep: bool = False,
+        backends: bool = False) -> dict:
     result = {
         "pr1_baseline_ms_per_step": PR1_BASELINE_MS,
         "pr2_before": PR2_BEFORE,
@@ -208,7 +265,9 @@ def run(steps: int, variants: list[bool], out_path: str,
     }
     for reduced in variants:
         key = "reduced" if reduced else "full"
-        result["runs"][key] = run_scene(steps, reduced, workers=workers)
+        result["runs"][key] = run_scene(steps, reduced, workers=workers,
+                                        workers_sweep=workers_sweep,
+                                        backends=backends)
     full = result["runs"].get("full")
     if full is not None:
         result["speedup_vs_before_default"] = round(
@@ -271,6 +330,16 @@ def check_against(result: dict, baseline_path: str,
                       f"{'OK' if ok else 'REGRESSION'}")
                 if not ok:
                     failures.append(f"{key}:selfop_speedup")
+        bc, bc_base = run_.get("backend_compare"), base.get("backend_compare")
+        if bc is not None and bc_base is not None:
+            limit = tolerance * bc_base["fmm_ms"]
+            ok = bc["fmm_ms"] <= limit
+            print(f"[check] {key} fmm backend_compare: "
+                  f"{bc['fmm_ms']:.0f} ms vs baseline "
+                  f"{bc_base['fmm_ms']:.0f} (limit {limit:.0f}) "
+                  f"{'OK' if ok else 'REGRESSION'}")
+            if not ok:
+                failures.append(f"{key}:fmm_backend")
     return 1 if failures else 0
 
 
@@ -286,6 +355,12 @@ def main() -> None:
                     help="also time a thread-executor row with N workers "
                          "(0 = skip); records its (zero) trajectory "
                          "deviation vs serial, never gated")
+    ap.add_argument("--workers-sweep", action="store_true",
+                    help="time the thread executor at workers in "
+                         f"{WORKERS_SWEEP} (informational, never gated)")
+    ap.add_argument("--backends", action="store_true",
+                    help="add the direct/treecode/fmm cell_cell "
+                         "comparison row (64 cells full / 16 reduced)")
     ap.add_argument("--check-against", default=None, metavar="BASELINE",
                     help="fail if ms/step regresses beyond --tolerance x "
                          "this BENCH_step.json")
@@ -293,7 +368,8 @@ def main() -> None:
                     help="regression-gate factor (default %(default)s)")
     args = ap.parse_args()
     variants = [False, True] if args.all else [args.reduced]
-    result = run(args.steps, variants, args.out, workers=args.workers)
+    result = run(args.steps, variants, args.out, workers=args.workers,
+                 workers_sweep=args.workers_sweep, backends=args.backends)
     print(json.dumps(result, indent=2))
     full = result["runs"].get("full")
     if full is not None:
@@ -314,6 +390,18 @@ def main() -> None:
             print(f"selfop assembly[{key}]: fused {sa['fused_ms']:.1f} ms, "
                   f"circulant {sa['circulant_ms']:.1f} ms "
                   f"({sa['speedup_vs_fused']:.2f}x)")
+        sweep = run_.get("workers_sweep_ms_per_step")
+        if sweep is not None:
+            print(f"workers sweep[{key}]: " + ", ".join(
+                f"{w}: {ms:.0f} ms/step" for w, ms in sweep.items()))
+        bc = run_.get("backend_compare")
+        if bc is not None:
+            print(f"backends[{key}] ({bc['ncells']} cells, order "
+                  f"{bc['order']}): direct {bc['direct_ms']:.0f} ms, "
+                  f"treecode {bc['treecode_ms']:.0f} ms "
+                  f"(rel {bc['treecode_rel_vs_direct']:.1e}), "
+                  f"fmm {bc['fmm_ms']:.0f} ms "
+                  f"(rel {bc['fmm_rel_vs_direct']:.1e})")
     if args.check_against:
         sys.exit(check_against(result, args.check_against, args.tolerance))
 

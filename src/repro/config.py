@@ -124,6 +124,18 @@ class NumericsOptions:
     #: Worker count of the ``"thread"`` executor (ignored by
     #: ``"serial"``). ``workers=1`` still runs tasks on a pool thread but
     #: produces the same results as the serial executor.
+    #:
+    #: Default policy: stay at ``1`` (with the ``"serial"`` executor)
+    #: unless the host has spare *physical* cores for this process.
+    #: The per-cell tasks overlap only where BLAS/kernel code releases
+    #: the GIL, so oversubscribing a core — or competing with an
+    #: already-parallel BLAS — adds scheduling overhead without
+    #: overlap; on a single-core host the ``--workers-sweep`` rows of
+    #: ``benchmarks/bench_step_breakdown.py`` are flat to slightly
+    #: negative across workers 1/2/4/8. Measure with that sweep on your
+    #: host and set ``workers`` to the knee of the curve (typically the
+    #: physical core count, with diminishing returns beyond 4 on scenes
+    #: under ~16 cells).
     workers: int = 1
     #: Precision of the *far-field* smooth quadrature: ``"float32"`` runs
     #: the far block of :func:`repro.kernels.stokes_slp_apply` and the
@@ -169,7 +181,21 @@ class ReproConfig:
     dt: float = 0.05
     viscosity: float = DEFAULT_VISCOSITY
     forces: list = dataclasses.field(default_factory=_default_forces)
+    #: Cell-cell summation strategy (a key of
+    #: :data:`repro.core.interactions.BACKENDS`). Guidance by scene
+    #: size (see ``examples/quickstart.py`` for measured numbers):
+    #: ``"direct"`` — exact O(ncell^2) pairwise sums; the reference,
+    #: fastest below ~8 cells. ``"treecode"`` — per-source-cell octrees
+    #: with multipole far fields, O(N log N); wins from ~8 cells.
+    #: ``"fmm"`` — one global octree with the full two-pass
+    #: kernel-independent FMM, O(N); overtakes the treecode around
+    #: 16-32 cells and is ~2x faster at 64 cells (rel error vs direct
+    #: ~3e-5 at defaults, tunable via ``equiv_points_per_edge``).
     backend: str = "direct"
+    #: Constructor keywords for the chosen backend (e.g. ``mac`` for
+    #: ``"treecode"``; ``equiv_points_per_edge``, ``max_leaf`` for
+    #: ``"fmm"``) — see the backend classes in
+    #: :mod:`repro.core.interactions` for the full knob list.
     backend_options: dict = dataclasses.field(default_factory=dict)
     with_collisions: bool = True
     collision_points_per_patch_edge: int = 12

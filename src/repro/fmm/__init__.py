@@ -12,13 +12,17 @@ the direct O(N^2) sums in the tests. The Stokes and Laplace single and
 double layers are all supported through the same machinery — kernel
 independence is the point of the method.
 """
-from .octree import Octree, OctreeNode
+from .octree import InteractionLists, Octree, OctreeNode
 from .treecode import KernelIndependentTreecode, stokes_slp_fmm, laplace_slp_fmm
+from .kifmm import GlobalKIFMM, stokes_slp_global_fmm
 
 __all__ = [
+    "InteractionLists",
     "Octree",
     "OctreeNode",
     "KernelIndependentTreecode",
+    "GlobalKIFMM",
     "stokes_slp_fmm",
+    "stokes_slp_global_fmm",
     "laplace_slp_fmm",
 ]

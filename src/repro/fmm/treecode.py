@@ -11,6 +11,7 @@ are opened, leaves are evaluated directly.
 """
 from __future__ import annotations
 
+import threading
 from functools import lru_cache
 from typing import Callable, Literal
 
@@ -28,11 +29,19 @@ from .octree import Octree
 
 KernelName = Literal["stokes_slp", "laplace_slp"]
 
-#: Relative radii of the equivalent and check surfaces (KIFMM convention:
-#: the equivalent surface sits just outside the box, the check surface
-#: further out).
-_EQUIV_RADIUS = 1.3
-_CHECK_RADIUS = 2.6
+#: Relative radii of the equivalent and check surfaces (the PVFMM
+#: convention: the equivalent surface hugs the box, the check surface
+#: sits just inside the minimum well-separated distance of 3 box
+#: half-widths). Measured against direct sums, (1.05, 2.95) is 10-60x
+#: more accurate per surface resolution than the wider (1.3, 2.6) pair
+#: it replaced — the fit extrapolates less.
+_EQUIV_RADIUS = 1.05
+_CHECK_RADIUS = 2.95
+#: Check surfaces carry ``e + _CHECK_EXTRA`` points per edge: the fits
+#: are overdetermined least squares, which kills the field-sampling
+#: aliasing a square check grid suffers near the separation boundary
+#: (another ~30x at e=5, saturating past +2 extra points).
+_CHECK_EXTRA = 2
 
 
 @lru_cache(maxsize=8)
@@ -53,12 +62,22 @@ def _cube_surface(e: int) -> np.ndarray:
     return freeze(pts)
 
 
-def _fit_operator(kernel: KernelName, e: int, viscosity: float) -> np.ndarray:
+@lru_cache(maxsize=32)
+def _fit_operator(kernel: KernelName, e: int, viscosity: float,
+                  density_radius: float = _EQUIV_RADIUS,
+                  check_radius: float = _CHECK_RADIUS) -> np.ndarray:
     """Pseudo-inverse mapping check-surface values -> equivalent density
     at unit scale (both kernels are homogeneous of degree -1, so the
-    operator rescales by the box size at apply time)."""
-    eq = _EQUIV_RADIUS * _cube_surface(e)
-    ck = _CHECK_RADIUS * _cube_surface(e)
+    operator rescales by the box size at apply time).
+
+    The defaults fit the *upward* equivalent density (sources on the
+    small surface, matched on the large one); the downward pass of the
+    global FMM swaps the radii (density on the large surface, matched on
+    the small one). Cached: every tree of every step shares the handful
+    of distinct (kernel, resolution, viscosity, radii) SVDs.
+    """
+    eq = density_radius * _cube_surface(e)
+    ck = check_radius * _cube_surface(e + _CHECK_EXTRA)
     if kernel == "stokes_slp":
         M = stokes_slp_matrix(eq, ck, viscosity)
     else:
@@ -66,7 +85,7 @@ def _fit_operator(kernel: KernelName, e: int, viscosity: float) -> np.ndarray:
     U, s, Vt = np.linalg.svd(M, full_matrices=False)
     cutoff = s[0] * 1e-9
     sinv = np.where(s > cutoff, 1.0 / s, 0.0)
-    return (Vt.T * sinv) @ U.T
+    return freeze((Vt.T * sinv) @ U.T)
 
 
 class KernelIndependentTreecode:
@@ -110,8 +129,13 @@ class KernelIndependentTreecode:
         self.tree = Octree(self.sources, max_leaf=max_leaf)
         self.e = int(equiv_points_per_edge)
         self._surf = _cube_surface(self.e)
+        self._ck_surf = _cube_surface(self.e + _CHECK_EXTRA)
         self._fit = _fit_operator(kernel, self.e, viscosity)
+        #: interaction counters (source-target pair counts per route).
+        #: Each evaluate() accumulates locally and folds under the lock,
+        #: so concurrent evaluations from executor fan-out stay exact.
         self.stats = {"p2p": 0, "m2p": 0}
+        self._stats_lock = threading.Lock()
         self._upward()
 
     # -- upward pass ---------------------------------------------------------
@@ -126,7 +150,7 @@ class KernelIndependentTreecode:
         return node.center + (_EQUIV_RADIUS * node.half) * self._surf
 
     def _check_points(self, node) -> np.ndarray:
-        return node.center + (_CHECK_RADIUS * node.half) * self._surf
+        return node.center + (_CHECK_RADIUS * node.half) * self._ck_surf
 
     def _upward(self) -> None:
         order = sorted(range(self.tree.n_nodes),
@@ -156,11 +180,15 @@ class KernelIndependentTreecode:
         skipped by the kernels)."""
         targets = np.atleast_2d(np.asarray(targets, float))
         out = np.zeros((targets.shape[0], self.ncomp))
-        self._descend(0, targets, np.arange(targets.shape[0]), out)
+        local = {"p2p": 0, "m2p": 0}
+        self._descend(0, targets, np.arange(targets.shape[0]), out, local)
+        with self._stats_lock:
+            for key, count in local.items():
+                self.stats[key] += count
         return out if self.ncomp > 1 else out.ravel()
 
-    def _descend(self, nid: int, targets: np.ndarray,
-                 tidx: np.ndarray, out: np.ndarray) -> None:
+    def _descend(self, nid: int, targets: np.ndarray, tidx: np.ndarray,
+                 out: np.ndarray, stats: dict) -> None:
         if tidx.size == 0:
             return
         node = self.tree.nodes[nid]
@@ -172,17 +200,17 @@ class KernelIndependentTreecode:
             vals = self._box_eval(self._equiv_points(node), node.equiv,
                                   targets[far_idx], dtype=self._far_dtype)
             out[far_idx] += vals
-            self.stats["m2p"] += far_idx.size * self._surf.shape[0]
+            stats["m2p"] += far_idx.size * self._surf.shape[0]
         if near_idx.size:
             if node.is_leaf:
                 vals = self._box_eval(self.sources[node.indices],
                                       self.density[node.indices],
                                       targets[near_idx])
                 out[near_idx] += vals
-                self.stats["p2p"] += near_idx.size * node.indices.size
+                stats["p2p"] += near_idx.size * node.indices.size
             else:
                 for cid in node.children:
-                    self._descend(cid, targets, near_idx, out)
+                    self._descend(cid, targets, near_idx, out, stats)
 
 
 def stokes_slp_fmm(src: np.ndarray, weighted_density: np.ndarray,

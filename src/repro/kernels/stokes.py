@@ -22,6 +22,14 @@ _CHUNK = 1024
 #: target chunk there.
 _SRC_CHUNK = 256
 _TRG_CHUNK_BLOCKED = 512
+#: Squared distance below which a pair counts as coincident and is
+#: excluded like exact zero distance (1e-10 in length units — far below
+#: any physical separation, far above coordinate roundoff). Without it,
+#: grid points that are *mathematically* identical but computed through
+#: different floating-point routes (a Gauss grid and its upsampling
+#: share rings) produce ~1/eps garbage instead of the intended
+#: self-exclusion.
+_COINCIDENT_R2 = 1e-20
 
 
 def _pairwise_r(trg_chunk: np.ndarray, src: np.ndarray):
@@ -110,13 +118,20 @@ def stokes_slp_apply(src: np.ndarray, weighted_density: np.ndarray,
                 # what the bulk sums included for these pairs...
                 included = (inv_r[sus_t, sus_s, None] * fs
                             + rf[sus_t, sus_s, None] * rv)
-                # ...versus the exact per-pair float64 kernel (zero when
-                # coincident)
-                rv64 = t64[sus_t] - srcc[sb][sus_s]
+                # ...versus the exact per-pair float64 kernel, from the
+                # *original* (uncentered) coordinates: the patched values
+                # are then independent of this call's source centering,
+                # so two calls covering the same pair agree bitwise — the
+                # global-FMM self subtraction relies on that. Pairs below
+                # the coincidence floor (points identical up to roundoff,
+                # e.g. shared nodes of a coarse grid and its upsampling)
+                # are excluded like exact zero distance.
+                rv64 = trg[a + sus_t] - src[sb][sus_s]
                 fs64 = f[sb][sus_s]
                 r2e = np.einsum("nk,nk->n", rv64, rv64)
                 with np.errstate(divide="ignore"):
-                    inv_e = np.where(r2e > 0.0, 1.0 / np.sqrt(r2e), 0.0)
+                    inv_e = np.where(r2e > _COINCIDENT_R2,
+                                     1.0 / np.sqrt(r2e), 0.0)
                 rfe = np.einsum("nk,nk->n", rv64, fs64) * inv_e ** 3
                 exact = inv_e[:, None] * fs64 + rfe[:, None] * rv64
                 np.add.at(acc, sus_t, exact - included.astype(np.float64))

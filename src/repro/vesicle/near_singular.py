@@ -339,6 +339,35 @@ class CellNearEvaluator:
             out[near] = self._near_values(density, fw, targets[near], seeds)
         return out
 
+    def near_correction(self, density: np.ndarray, targets: np.ndarray,
+                        fine_weighted: Optional[np.ndarray] = None
+                        ) -> tuple[np.ndarray, np.ndarray]:
+        """Near-scheme delta against the float64 smooth quadrature.
+
+        Returns ``(indices, delta)`` where ``indices`` selects the
+        targets inside this cell's near zone and ``delta`` is the
+        near-scheme velocity minus the *exact double-precision* smooth
+        sum at those targets. A caller that already holds a smooth
+        all-sources velocity computed in float64 (the global FMM's
+        near-field P2P route) turns it into the near-singular-accurate
+        value by adding ``delta`` — the large singular contributions
+        cancel to roundoff because both sides evaluate them with the
+        same exact kernel, which is what makes a global source tree
+        viable despite the on-surface smooth sums it contains.
+        """
+        targets = np.atleast_2d(np.asarray(targets, float))
+        density = np.asarray(density, float).reshape(self.surface.grid.nlat,
+                                                     self.surface.grid.nphi, 3)
+        fw = (fine_weighted if fine_weighted is not None
+              else self.weighted_fine_density(density))
+        near, seeds = self._near_scan(targets)
+        if near.size == 0:
+            return near, np.zeros((0, 3))
+        x = targets[near]
+        smooth = stokes_slp_apply(self._fine.points, fw.reshape(-1, 3), x,
+                                  self.viscosity)
+        return near, self._near_values(density, fw, x, seeds) - smooth
+
     def _near_values(self, density: np.ndarray, fine_weighted: np.ndarray,
                      x: np.ndarray,
                      seeds: Optional[np.ndarray] = None) -> np.ndarray:
