@@ -51,6 +51,14 @@ regression beyond ``REGRESSION_TOLERANCE``; the ``fmm`` comparison time
 is gated the same way (the O(N) backend must not quietly regress), while
 the threaded and workers-sweep rows are informational and never gated
 (thread scaling is host-dependent).
+
+Each scene also records a ``resilience_overhead`` row: ms/step with the
+transactional-stepping layer (snapshot + health sentinel,
+``ResilienceOptions.enabled``) off vs a second warm run with it on.
+Under ``--check-against`` the overhead is gated *absolutely* (no
+baseline entry needed) at ``RESILIENCE_OVERHEAD_LIMIT`` (3%) of the raw
+ms/step, and the on/off trajectory deviation — pinned bit-identical for
+healthy runs — must be exactly 0.0.
 """
 from __future__ import annotations
 
@@ -62,7 +70,7 @@ import time
 
 import numpy as np
 
-from repro.config import NumericsOptions, ReproConfig
+from repro.config import NumericsOptions, ReproConfig, ResilienceOptions
 from repro.core.cellbatch import CellBatch
 from repro.core.simulation import Simulation
 from repro.physics.terms import Bending, Gravity, Tension
@@ -101,7 +109,8 @@ AMORTIZED_INTERVAL = 4
 
 def build_scene(order: int = 8, ncells: int = 6,
                 selfop_refresh_interval: int = 1,
-                executor: str = "serial", workers: int = 1) -> Simulation:
+                executor: str = "serial", workers: int = 1,
+                resilience_on: bool = True) -> Simulation:
     """The reference scene: ``ncells`` RBCs on a close-packed lattice
     (spacing 2.4: equatorial radius 1.0 -> neighbours in the near zone)."""
     cells = _scene_cells(order, ncells)
@@ -109,6 +118,7 @@ def build_scene(order: int = 8, ncells: int = 6,
                       forces=[Bending(0.01), Tension(),
                               Gravity(0.5, (0.0, 0.0, -1.0))],
                       backend="direct", with_collisions=True,
+                      resilience=ResilienceOptions(enabled=resilience_on),
                       numerics=NumericsOptions(
                           selfop_refresh_interval=selfop_refresh_interval,
                           executor=executor, workers=workers))
@@ -161,6 +171,29 @@ def bench_selfop_assembly(order: int, ncells: int, reps: int = 9) -> dict:
 WORKERS_SWEEP = (1, 2, 4, 8)
 
 
+def _resilience_overhead(order: int, ncells: int, steps: int) -> dict:
+    """Cost of the transactional step on a healthy run: ms/step with the
+    resilience layer off, then a *second warm* run with it on (the
+    ordering keeps both measurements on fully warmed library/OS caches;
+    the scene's first on-run already ran above). Healthy transactional
+    steps are pinned bit-identical to raw stepping, so the row also
+    records the trajectory deviation — exactly 0.0 by contract."""
+    sim_off, ms_off, _ = _timed_run(order, ncells, steps, 1,
+                                    resilience_on=False)
+    sim_on, ms_on, _ = _timed_run(order, ncells, steps, 1)
+    deviation = max(float(np.abs(a.X - b.X).max())
+                    for a, b in zip(sim_off.cells, sim_on.cells))
+    overhead = ms_on - ms_off
+    return {
+        "ms_per_step_off": ms_off,
+        "ms_per_step_on": ms_on,
+        "overhead_ms": round(overhead, 2),
+        "overhead_frac": round(overhead / ms_off, 4),
+        "limit_frac": RESILIENCE_OVERHEAD_LIMIT,
+        "max_traj_deviation_vs_off": deviation,
+    }
+
+
 def backend_compare(order: int, ncells: int, seed: int = 3) -> dict:
     """Time ``prepare + cell_cell`` of every interaction backend on an
     ``ncells``-cell lattice with a fixed random force density, and
@@ -192,11 +225,21 @@ def backend_compare(order: int, ncells: int, seed: int = 3) -> dict:
     return out
 
 
+#: the sentinel-overhead gate: the transactional step (snapshot +
+#: health sentinel) may cost at most this fraction of the raw ms/step,
+#: with RESILIENCE_ABS_SLACK_MS of absolute headroom for scenes so small
+#: the difference of two timings is noise-level.
+RESILIENCE_OVERHEAD_LIMIT = 0.03
+RESILIENCE_ABS_SLACK_MS = 0.5
+
+
 def _timed_run(order: int, ncells: int, steps: int, interval: int,
-               executor: str = "serial", workers: int = 1):
+               executor: str = "serial", workers: int = 1,
+               resilience_on: bool = True):
     sim = build_scene(order=order, ncells=ncells,
                       selfop_refresh_interval=interval,
-                      executor=executor, workers=workers)
+                      executor=executor, workers=workers,
+                      resilience_on=resilience_on)
     t0 = time.perf_counter()
     sim.run(steps)
     elapsed = time.perf_counter() - t0
@@ -226,6 +269,7 @@ def run_scene(steps: int, reduced: bool, workers: int = 0,
         },
         "final_centroids": [c.centroid().tolist() for c in sim.cells],
         "selfop_assembly": bench_selfop_assembly(order, ncells),
+        "resilience_overhead": _resilience_overhead(order, ncells, steps),
     }
     if workers > 0:
         sim_t, ms_t, breakdown_t = _timed_run(order, ncells, steps, 1,
@@ -330,6 +374,25 @@ def check_against(result: dict, baseline_path: str,
                       f"{'OK' if ok else 'REGRESSION'}")
                 if not ok:
                     failures.append(f"{key}:selfop_speedup")
+        ro = run_.get("resilience_overhead")
+        if ro is not None:
+            # absolute gate (no baseline needed): the sentinel may cost
+            # at most RESILIENCE_OVERHEAD_LIMIT of the raw ms/step, with
+            # a small absolute slack for noise-level scenes.
+            limit = max(RESILIENCE_OVERHEAD_LIMIT * ro["ms_per_step_off"],
+                        RESILIENCE_ABS_SLACK_MS)
+            ok = ro["overhead_ms"] <= limit
+            print(f"[check] {key} resilience overhead: "
+                  f"{ro['overhead_ms']:+.2f} ms/step on "
+                  f"{ro['ms_per_step_off']:.1f} (limit {limit:.2f}) "
+                  f"{'OK' if ok else 'REGRESSION'}")
+            if not ok:
+                failures.append(f"{key}:resilience_overhead")
+            if ro["max_traj_deviation_vs_off"] != 0.0:
+                print(f"[check] {key} resilience bit-identity: deviation "
+                      f"{ro['max_traj_deviation_vs_off']:.1e} != 0 "
+                      "REGRESSION")
+                failures.append(f"{key}:resilience_bit_identity")
         bc, bc_base = run_.get("backend_compare"), base.get("backend_compare")
         if bc is not None and bc_base is not None:
             limit = tolerance * bc_base["fmm_ms"]
@@ -390,6 +453,14 @@ def main() -> None:
             print(f"selfop assembly[{key}]: fused {sa['fused_ms']:.1f} ms, "
                   f"circulant {sa['circulant_ms']:.1f} ms "
                   f"({sa['speedup_vs_fused']:.2f}x)")
+        ro = run_.get("resilience_overhead")
+        if ro is not None:
+            print(f"resilience overhead[{key}]: "
+                  f"{ro['ms_per_step_off']:.1f} ms/step raw -> "
+                  f"{ro['ms_per_step_on']:.1f} transactional "
+                  f"({ro['overhead_ms']:+.2f} ms, "
+                  f"{100 * ro['overhead_frac']:+.2f}%), deviation "
+                  f"{ro['max_traj_deviation_vs_off']:.1e}")
         sweep = run_.get("workers_sweep_ms_per_step")
         if sweep is not None:
             print(f"workers sweep[{key}]: " + ", ".join(

@@ -25,6 +25,10 @@ Public API highlights
   through :mod:`repro.fmm`).
 - :class:`repro.core.Simulation` — the simulation platform the builder
   assembles.
+- :mod:`repro.resilience` — transactional stepping (health sentinel,
+  rollback + dt-halved retries, backend degradation) and bit-identical
+  checkpoint/restart (``save_checkpoint`` / ``load_checkpoint``);
+  policy in :class:`repro.ResilienceOptions`.
 - :class:`repro.bie.BoundarySolver` — the parallel boundary solver
   (paper Sec. 3).
 - :class:`repro.collision.NCPSolver` — contact-free time stepping
@@ -43,19 +47,25 @@ runs, emitting a ``DeprecationWarning`` and converting via
 :class:`ReproConfig` — start from a preset and compose force terms.
 """
 from . import config
-from .config import NumericsOptions, ReproConfig
+from .config import NumericsOptions, ReproConfig, ResilienceOptions
 from . import presets
 from .core import Scenario, ScenarioBuilder, Simulation
+from .resilience import (StepRejectedError, load_checkpoint,
+                         save_checkpoint)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "config",
     "presets",
     "NumericsOptions",
     "ReproConfig",
+    "ResilienceOptions",
     "Scenario",
     "ScenarioBuilder",
     "Simulation",
+    "StepRejectedError",
+    "save_checkpoint",
+    "load_checkpoint",
     "__version__",
 ]

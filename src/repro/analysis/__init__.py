@@ -1,6 +1,6 @@
 """Correctness tooling for the executor pipeline's determinism contract.
 
-Two runtime counterparts to the static passes of ``tools/repro_lint``:
+Three runtime counterparts to the static passes of ``tools/repro_lint``:
 
 - :mod:`repro.analysis.contracts` — the ``@checked`` array-contract
   decorator (shape/dtype verification of the hot public seams, active
@@ -9,9 +9,15 @@ Two runtime counterparts to the static passes of ``tools/repro_lint``:
   ``freeze`` marks cached numpy tables immutable and registers them so
   the ``"checked"`` executor can hold every shared table non-writeable
   for the duration of each ``map``.
+- :mod:`repro.analysis.faultinject` — deterministic fault injection
+  (NaN poisoning, forced non-convergence, task crashes) for driving the
+  recovery paths of :mod:`repro.resilience` in tests and CI.
 """
 from .contracts import (ContractViolation, checked, checks_enabled,
                         debug_checks, set_debug_checks)
+from .faultinject import (InjectedFault, force_nonconvergence,
+                          force_unresolved_contact, inject_nan,
+                          raise_in_task)
 from .guard import (DeterminismError, freeze, freeze_attributes,
                     iter_shared_arrays, register_shared, tables_frozen)
 
@@ -20,4 +26,6 @@ __all__ = [
     "set_debug_checks",
     "DeterminismError", "freeze", "freeze_attributes",
     "iter_shared_arrays", "register_shared", "tables_frozen",
+    "InjectedFault", "inject_nan", "force_nonconvergence",
+    "force_unresolved_contact", "raise_in_task",
 ]

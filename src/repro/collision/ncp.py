@@ -42,6 +42,17 @@ class NCPReport:
     max_penetration_after: float
     contact_active: bool
     lambdas: np.ndarray
+    #: whether the projection drove every contact volume above the
+    #: tolerance before exhausting ``ncp_max_lcp`` linearizations
+    #: (``True`` when no contact was active). The health sentinel treats
+    #: ``False`` as a step-rejection trigger under
+    #: ``ResilienceOptions.reject_unresolved_contact``.
+    resolved: bool = True
+    #: AND of the inner LCP solves' ``converged`` flags (within the
+    #: documented slack of :func:`repro.collision.lcp.solve_lcp`).
+    lcp_converged: bool = True
+    #: worst final minimum-map residual across the inner LCP solves.
+    lcp_residual: float = 0.0
 
 
 class NCPSolver:
@@ -178,6 +189,7 @@ class NCPSolver:
 
         positions = [p.copy() for p in cand_pos]
         lam_all = []
+        resolved = False
         for _ in range(self.options.ncp_max_lcp):
             m = len(contacts)
             # Displacement response of every component's unit force.
@@ -212,6 +224,8 @@ class NCPSolver:
             q = np.array([c.volume for c in contacts])
             res = solve_lcp(lambda x: B @ x, q)
             report.lcp_solves += 1
+            report.lcp_converged = report.lcp_converged and res.converged
+            report.lcp_residual = max(report.lcp_residual, res.residual)
             lam_all.append(res.lam)
 
             # Apply the combined contact displacement.
@@ -236,8 +250,10 @@ class NCPSolver:
             contacts = compute_contacts(cand_meshes, pairs, eps)
             worst = min((c.volume for c in contacts), default=0.0)
             if worst >= -abs(vol_tol):
+                resolved = True
                 break
 
+        report.resolved = resolved
         report.max_penetration_after = -min(
             (c.volume for c in contacts), default=0.0)
         report.lambdas = (np.concatenate(lam_all) if lam_all else np.zeros(0))

@@ -3,6 +3,7 @@ from __future__ import annotations
 
 import dataclasses
 import warnings
+from fractions import Fraction
 from typing import Callable, Optional, Sequence, Union
 
 import numpy as np
@@ -11,11 +12,20 @@ from ..bie import BoundarySolver
 from ..collision import NCPSolver, patch_collision_mesh
 from ..config import NumericsOptions, ReproConfig
 from ..patches import PatchSurface
+from ..resilience import (HealthSentinel, StepRejectedError, capture_state,
+                          restore_state)
 from ..surfaces import SpectralSurface
 from ..vessel.recycling import OutletRecycler
 from .interactions import BACKENDS, InteractionBackend, make_backend
 from .stepper import StepReport, TimeStepper
 from .timers import ComponentTimers
+
+#: exception classes the transactional step treats as a *recoverable*
+#: step failure (rolled back and retried at smaller dt): numerical
+#: breakdowns and the runtime errors solver layers raise on corrupted
+#: input. Programming errors (TypeError, AttributeError, ...) propagate.
+RECOVERABLE_ERRORS = (ArithmeticError, ValueError, RuntimeError,
+                      np.linalg.LinAlgError)
 
 
 @dataclasses.dataclass
@@ -115,7 +125,8 @@ class Simulation:
         self.stepper = TimeStepper(
             self.cells, options=opts, boundary_solver=solver,
             boundary_bc=boundary_bc, forces=self.config.forces,
-            backend=backend, ncp_solver=ncp, timers=self.timers)
+            backend=backend, ncp_solver=ncp, timers=self.timers,
+            resilience=self.config.resilience)
 
         self.t = 0.0
         self.history: list[StepReport] = []
@@ -137,15 +148,100 @@ class Simulation:
 
     # -- driving ------------------------------------------------------------
     def step(self) -> StepReport:
-        """Advance one time step (and recycle outlet cells if configured)."""
-        report = self.stepper.step(self.t, self.config.dt)
-        self.t += self.config.dt
+        """Advance one *nominal* time step, transactionally.
+
+        With ``config.resilience.enabled`` (the default) the step is a
+        transaction: the mutable per-cell state is snapshotted, the
+        stepped state is validated by the health sentinel (finiteness,
+        area/volume drift, the solver convergence flags the step already
+        computed), and a failed — or crashed — step is rolled back and
+        retried at half the time step, sub-stepping back onto the
+        nominal time grid. The returned report always spans exactly
+        ``config.dt`` (sub-step reports ride along on
+        ``StepReport.substeps``), so accepted trajectories live on
+        multiples of the nominal dt regardless of retries; healthy steps
+        are bit-identical to stepping with resilience disabled. Raises
+        :class:`~repro.resilience.StepRejectedError` when the retry
+        budget or the dt floor is exhausted, with the simulation rolled
+        back to the last accepted sub-step.
+
+        Recycling (if configured) runs once per accepted nominal step.
+        """
+        pol = self.config.resilience
+        if pol is None or not pol.enabled:
+            report = self.stepper.step(self.t, self.config.dt)
+            self.t += self.config.dt
+        else:
+            report = self._transactional_step(pol)
+            self.t += self.config.dt
         if self.recycler is not None:
             report.recycled = self.recycler.recycle(self.cells)
             for i in report.recycled:
                 self.stepper.refresh_cell(i)
         self.history.append(report)
         return report
+
+    def _transactional_step(self, pol) -> StepReport:
+        """One nominal step as a rollback transaction (see :meth:`step`).
+
+        Sub-step bookkeeping uses exact :class:`~fractions.Fraction`
+        arithmetic over the *fraction of the nominal dt* — halving and
+        re-summing dyadic floats directly (``dt - dt/2 - dt/4 ...``)
+        accumulates rounding, which would knock the sub-step sizes (and
+        with them the trajectory) off the exact halves the retries are
+        defined on.
+        """
+        dt_nominal = self.config.dt
+        sentinel = HealthSentinel(pol)
+        t0 = self.t
+        remaining = Fraction(1)     # of the nominal step, still to cover
+        frac = Fraction(1)          # current sub-step size
+        retries = 0
+        substeps: list[StepReport] = []
+        while remaining > 0:
+            frac = min(frac, remaining)
+            done = Fraction(1) - remaining
+            # float(done/frac) is exact for dyadic fractions, so this
+            # rounds once — matching the raw path's t arithmetic when
+            # the step is clean.
+            t_sub = t0 + dt_nominal * float(done)
+            dt_sub = dt_nominal * float(frac)
+            snapshot = capture_state(self.stepper, t_sub)
+            failure = None
+            health = None
+            report = None
+            try:
+                report = self.stepper.step(t_sub, dt_sub)
+            except RECOVERABLE_ERRORS as exc:
+                failure = f"step raised {type(exc).__name__}: {exc}"
+            if report is not None:
+                health = sentinel.evaluate(self.stepper, report, snapshot)
+                report.health = health
+                if not health:
+                    failure = "; ".join(health.failures)
+            if failure is None:
+                substeps.append(report)
+                remaining -= frac
+                continue
+            restore_state(self.stepper, snapshot)
+            retries += 1
+            if retries > pol.max_retries:
+                raise StepRejectedError(
+                    f"step at t={t_sub:.6g} rejected after "
+                    f"{pol.max_retries} retries ({failure}); state rolled "
+                    "back to the last accepted sub-step", health=health)
+            if float(frac) / 2.0 < pol.dt_floor_factor:
+                raise StepRejectedError(
+                    f"step at t={t_sub:.6g} still failing at dt = "
+                    f"{float(frac):g} x nominal; halving again would cross "
+                    f"the dt floor ({pol.dt_floor_factor:g} x nominal). "
+                    f"Last failure: {failure}", health=health)
+            frac = frac / 2
+        if len(substeps) == 1 and retries == 0:
+            return substeps[0]
+        final = dataclasses.replace(substeps[-1], t=t0, dt=dt_nominal,
+                                    substeps=substeps, retries=retries)
+        return final
 
     def run(self, n_steps: int,
             callback: Optional[Callable[[int, StepReport], None]] = None

@@ -43,6 +43,7 @@ from ..physics.tension import TensionSolver
 from ..physics.terms import (BackgroundFlow, Bending, CellState, ForceTerm,
                              Gravity, Tension)
 from ..analysis.contracts import set_debug_checks
+from ..resilience.health import warn_once
 from ..runtime.executor import make_executor
 from ..surfaces import SpectralSurface
 from ..vesicle import SingularSelfInteraction
@@ -54,7 +55,12 @@ from .timers import ComponentTimers
 
 @dataclasses.dataclass
 class StepReport:
-    """Diagnostics of one time step."""
+    """Diagnostics of one time step.
+
+    The defaulted tail fields carry the solver convergence flags and the
+    resilience layer's verdict; they default so report construction
+    stays source-compatible with pre-resilience callers.
+    """
 
     t: float
     dt: float
@@ -62,6 +68,30 @@ class StepReport:
     implicit_iterations: list[int]
     ncp: Optional[NCPReport]
     recycled: list[int]
+    #: whether the boundary-integral GMRES met tolerance (record-only:
+    #: the paper caps that solve's iterations by design).
+    bie_converged: bool = True
+    #: per-cell convergence of the implicit update (the direct LU path
+    #: always reports converged; the GMRES fallback surfaces its flag).
+    implicit_converged: list[bool] = dataclasses.field(default_factory=list)
+    #: per-cell inner iterations of the tension solve (0 on the direct
+    #: path), empty when tension is off.
+    tension_iterations: list[int] = dataclasses.field(default_factory=list)
+    #: AND of the per-cell tension convergence flags.
+    tension_converged: bool = True
+    #: cells whose factorized tension/implicit operator hit a singular
+    #: pivot this step (their solves run the GMRES fallback).
+    lu_singular: list[int] = dataclasses.field(default_factory=list)
+    #: name of the backend the degradation policy fell back to (sticky;
+    #: ``None`` while the configured backend is active).
+    backend_degraded_to: Optional[str] = None
+    #: the health sentinel's verdict (``None`` when resilience is off).
+    health: Optional["StepHealth"] = None  # noqa: F821
+    #: reports of the dt-halved sub-steps a rejected step was re-run as
+    #: (empty for a clean single step).
+    substeps: list = dataclasses.field(default_factory=list)
+    #: number of rejected attempts before this step was accepted.
+    retries: int = 0
 
 
 class TimeStepper:
@@ -88,9 +118,19 @@ class TimeStepper:
                  implicit_tol: float = 1e-8,
                  implicit_max_iter: int = 60,
                  forces: Optional[Sequence[ForceTerm]] = None,
-                 backend: Optional[InteractionBackend] = None):
+                 backend: Optional[InteractionBackend] = None,
+                 resilience=None):
         self.cells = list(cells)
         self.options = options or NumericsOptions()
+        #: graceful-degradation policy (a
+        #: :class:`repro.config.ResilienceOptions` or ``None``): with
+        #: ``backend_degradation`` set, non-finite cell-cell output from
+        #: a fast backend rebinds the next backend of
+        #: ``degradation_order`` in its place (see
+        #: :meth:`_degrade_backend`).
+        self.resilience = resilience
+        #: name of the backend the degradation fell back to, or ``None``.
+        self.backend_degraded_to: Optional[str] = None
         self.boundary_solver = boundary_solver
         self.boundary_bc = boundary_bc
         self.ncp = ncp_solver
@@ -271,17 +311,64 @@ class TimeStepper:
         return u
 
     # -- the explicit pipeline ------------------------------------------------
-    def _explicit_velocities(self) -> tuple[list[np.ndarray], int]:
+    def _next_degraded_backend(self) -> Optional[str]:
+        """Name of the backend the degradation policy would fall back to
+        from the active one, or ``None`` (policy off / chain exhausted /
+        active backend not in the chain)."""
+        pol = self.resilience
+        if pol is None or not (pol.enabled and pol.backend_degradation):
+            return None
+        order = tuple(pol.degradation_order)
+        name = self.backend.name
+        if name not in order or order.index(name) + 1 >= len(order):
+            return None
+        return order[order.index(name) + 1]
+
+    def _degrade_backend(self, forces: Sequence[np.ndarray],
+                         contrib: list) -> list:
+        """Graceful degradation of the cell-cell summation: while the
+        active backend's output contains non-finite values and the
+        policy names a fallback, permanently rebind the next backend of
+        ``degradation_order`` (fmm -> treecode -> direct by default) and
+        re-evaluate. Sticky: later steps keep the degraded backend (the
+        fast backend already proved unreliable on this scene). When the
+        chain is exhausted the poisoned result is returned unchanged and
+        the health sentinel's finiteness check takes over (dt-retry
+        path)."""
+        while not all(np.isfinite(c).all() for c in contrib):
+            nxt = self._next_degraded_backend()
+            if nxt is None:
+                break
+            from .interactions import make_backend
+            warn_once(
+                f"backend-degraded:{self.backend.name}->{nxt}",
+                f"interaction backend {self.backend.name!r} produced "
+                f"non-finite velocities; degrading to {nxt!r} for the "
+                "rest of the run")
+            self.backend = make_backend(nxt).bind(
+                self.cells, self.viscosity,
+                farfield_dtype=self.options.farfield_dtype)
+            self.backend.executor = self.executor
+            self.backend_degraded_to = nxt
+            with self.timers.scope("Other-FMM"):
+                self.backend.prepare(forces)
+                contrib = self.backend.cell_cell()
+        return contrib
+
+    def _explicit_velocities(self) -> tuple[list[np.ndarray], int, bool]:
         cells = self.cells
         ncell = len(cells)
         forces = self.executor.map(self.interfacial_force, range(ncell))
         bie_iters = 0
+        bie_converged = True
 
         # (d) cell-cell contributions (near-singular-aware), via the
         # pluggable backend; evaluators are cached across steps.
         with self.timers.scope("Other-FMM"):
             self.backend.prepare(forces)
             contrib = self.backend.cell_cell()
+        if self.resilience is not None:
+            contrib = self._degrade_backend(forces, contrib)
         b = [contrib[i].reshape(cells[i].X.shape) for i in range(ncell)]
 
         if self.boundary_solver is not None:
@@ -295,6 +382,7 @@ class TimeStepper:
             with self.timers.scope("BIE-solve"):
                 phi, rep = solver.solve(g.ravel())
                 bie_iters = rep.iterations
+                bie_converged = bool(getattr(rep, "converged", True))
             # (c) u_Gamma at all cell points, one task per target cell.
             with self.timers.scope("BIE-FMM"):
                 vals = self.executor.map(
@@ -308,10 +396,11 @@ class TimeStepper:
         for i in range(ncell):
             if imposed[i] is not None:
                 b[i] += imposed[i].reshape(cells[i].X.shape)
-        return b, bie_iters
+        return b, bie_iters, bie_converged
 
     # -- tension update ---------------------------------------------------------
-    def _update_tensions(self, b: list[np.ndarray]) -> None:
+    def _update_tensions(self, b: list[np.ndarray]
+                         ) -> tuple[list[int], bool]:
         """Solve the inextensibility constraint cell by cell (explicit in
         the inter-cell coupling, as the paper's splitting).
 
@@ -342,7 +431,7 @@ class TimeStepper:
         if self.options.direct_tension and self.options.batched_lu:
             self._ensure_tension_solvers()
 
-        def task(i: int) -> np.ndarray:
+        def task(i: int) -> tuple[np.ndarray, int, bool]:
             cell = self.cells[i]
             op = self._self_ops[i]
             u_bg = b[i] + applied[i].reshape(cell.X.shape)
@@ -353,9 +442,14 @@ class TimeStepper:
                     self_matrix=(op.matrix if self.options.direct_tension
                                  else None))
                 self._tension_solvers[i] = solver
-            return solver.solve(u_bg)[0]
+            # solve_report returns the GMRES convergence flag the plain
+            # solve() drops (the direct path always reports converged).
+            return solver.solve_report(u_bg)
 
-        self.sigmas = self.executor.map(task, range(ncell))
+        solved = self.executor.map(task, range(ncell))
+        self.sigmas = [sigma for sigma, _, _ in solved]
+        return ([iters for _, iters, _ in solved],
+                all(conv for _, _, conv in solved))
 
     def _ensure_tension_solvers(self) -> None:
         """Rebuild missing direct tension solvers with one stacked
@@ -403,16 +497,19 @@ class TimeStepper:
             self._impl_lu[i] = (dt, handles[i], core, nrm)
 
     def _implicit_update(self, i: int, b: np.ndarray, dt: float
-                         ) -> tuple[np.ndarray, int]:
-        """Solve X+ = X + dt (b + S_i f_i(X+)) with linearized bending.
+                         ) -> tuple[np.ndarray, int, bool]:
+        """Solve X+ = X + dt (b + S_i f_i(X+)) with linearized bending;
+        returns ``(X+, iterations, converged)``.
 
         With ``options.direct_implicit`` (the default) the dense operator
         ``I - dt S L`` is assembled and LU-factorized per (cell, dt) on
         first use after each refresh, and the update is a single
-        back-substitution (0 reported iterations). If ``dt`` differs from
-        the factorization already cached for this geometry — adaptive
-        stepping mid-run — the solve falls back to GMRES rather than
-        thrashing refactorizations.
+        back-substitution (0 reported iterations, always converged). If
+        ``dt`` differs from the factorization already cached for this
+        geometry — adaptive stepping mid-run, including the resilience
+        layer's dt-halved retries — the solve falls back to GMRES rather
+        than thrashing refactorizations, and surfaces that solve's
+        convergence flag.
         """
         cell = self.cells[i]
         op = self._self_ops[i]
@@ -432,7 +529,7 @@ class TimeStepper:
                 LX = ((core @ w)[:, None] * nrm).reshape(shape)
                 rhs = (cell.X + dt * (b.reshape(shape)
                                       + op.apply(f_now - LX))).ravel()
-                return lu.solve(rhs).reshape(shape), 0
+                return lu.solve(rhs).reshape(shape), 0, True
 
         def L_apply(dX_flat: np.ndarray) -> np.ndarray:
             dX = dX_flat.reshape(shape)
@@ -446,15 +543,33 @@ class TimeStepper:
                                            - L_apply(cell.X.ravel())))).ravel()
         res = gmres(matvec, rhs, x0=cell.X.ravel(),
                     tol=self.implicit_tol, max_iter=self.implicit_max_iter)
-        return res.x.reshape(shape), res.iterations
+        return res.x.reshape(shape), res.iterations, res.converged
 
     # -- one step ----------------------------------------------------------------
+    def _singular_lu_cells(self) -> list[int]:
+        """Cells whose factorized tension or implicit operator hit a
+        singular pivot (their solves run the GMRES fallback of
+        :mod:`repro.linalg.dense`)."""
+        out = []
+        for i in range(len(self.cells)):
+            solver = self._tension_solvers[i]
+            schur = getattr(solver, "_schur", None) if solver else None
+            cached = self._impl_lu[i]
+            if ((schur is not None and getattr(schur, "singular", False))
+                    or (cached is not None
+                        and getattr(cached[1], "singular", False))):
+                out.append(i)
+        return out
+
     def step(self, t: float, dt: float) -> StepReport:
         with self.timers.scope("Other"):
-            b, bie_iters = self._explicit_velocities()
+            b, bie_iters, bie_conv = self._explicit_velocities()
+            tension_iters: list[int] = []
+            tension_conv = True
             if self.with_tension:
                 with self.timers.scope("Tension"):
-                    self._update_tensions(b)  # tensions folded via forces
+                    # tensions folded via forces
+                    tension_iters, tension_conv = self._update_tensions(b)
 
             with self.timers.scope("Implicit"):
                 if self.options.direct_implicit and self.options.batched_lu:
@@ -462,8 +577,30 @@ class TimeStepper:
                 results = self.executor.map(
                     lambda i: self._implicit_update(i, b[i], dt),
                     range(len(self.cells)))
-            candidates = [Xp for Xp, _ in results]
-            impl_iters = [iters for _, iters in results]
+            candidates = [Xp for Xp, _, _ in results]
+            impl_iters = [iters for _, iters, _ in results]
+            impl_conv = [conv for _, _, conv in results]
+            lu_singular = self._singular_lu_cells()
+            if not bie_conv:
+                warn_once("stepper:bie-nonconverged",
+                          "boundary-integral GMRES hit its iteration cap "
+                          "without reaching tolerance (recorded on "
+                          "StepReport.bie_converged)")
+            if not all(impl_conv):
+                warn_once("stepper:implicit-nonconverged",
+                          "implicit GMRES fallback did not converge on "
+                          "cells %s (recorded on "
+                          "StepReport.implicit_converged)" % [
+                              i for i, ok in enumerate(impl_conv) if not ok])
+            if not tension_conv:
+                warn_once("stepper:tension-nonconverged",
+                          "tension GMRES solve did not converge (recorded "
+                          "on StepReport.tension_converged)")
+            if lu_singular:
+                warn_once("stepper:lu-singular",
+                          "singular factorized operator on cells %s; "
+                          "solves routed through the GMRES fallback"
+                          % lu_singular)
 
         ncp_report = None
         if self.ncp is not None:
@@ -492,4 +629,9 @@ class TimeStepper:
                               range(len(self.cells)))
         return StepReport(t=t, dt=dt, bie_iterations=bie_iters,
                           implicit_iterations=impl_iters, ncp=ncp_report,
-                          recycled=[])
+                          recycled=[], bie_converged=bie_conv,
+                          implicit_converged=impl_conv,
+                          tension_iterations=tension_iters,
+                          tension_converged=tension_conv,
+                          lu_singular=lu_singular,
+                          backend_degraded_to=self.backend_degraded_to)

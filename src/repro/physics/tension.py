@@ -148,6 +148,27 @@ class TensionSolver:
         rhs = -self.surface.surface_divergence(u_background).ravel()
         return self._schur.solve(rhs).reshape(self._shape()), 0
 
+    def solve_report(self, u_background: np.ndarray
+                     ) -> tuple[np.ndarray, int, bool]:
+        """:meth:`solve` plus the convergence flag: ``(sigma,
+        iterations, converged)``.
+
+        The direct path is a back-substitution against the factorized
+        Schur complement and always reports converged (unless the
+        factorization went singular and fell back to GMRES — see
+        :class:`repro.linalg.LUFactorization`); the matrix-free path
+        surfaces the GMRES flag the plain :meth:`solve` drops. Returned
+        rather than stored on the solver so batch tasks mapped over the
+        threaded executor never write shared state.
+        """
+        if self._schur is None:
+            rhs = -self.surface.surface_divergence(u_background).ravel()
+            res = gmres(self.operator, rhs, tol=self.tol,
+                        max_iter=self.max_iter)
+            return res.x.reshape(self._shape()), res.iterations, res.converged
+        sigma, iters = self.solve(u_background)
+        return sigma, iters, not getattr(self._schur, "singular", False)
+
     def solve_iterative(self, u_background: np.ndarray
                         ) -> tuple[np.ndarray, int]:
         """The matrix-free GMRES path (reference for :meth:`solve`)."""

@@ -142,14 +142,14 @@ class TestDirectVsIterativeTrajectories:
         cells = [ellipsoid(1.0, 1.0, 1.4, order=4)]
         stepper = TimeStepper(cells, bending_modulus=0.05)
         b = np.zeros(cells[0].X.shape)
-        X1, it1 = stepper._implicit_update(0, b, 0.05)
-        assert it1 == 0                      # factorized for dt=0.05
-        X2, it2 = stepper._implicit_update(0, b, 0.025)
-        assert it2 > 0                       # GMRES fallback, not stale LU
+        X1, it1, conv1 = stepper._implicit_update(0, b, 0.05)
+        assert it1 == 0 and conv1            # factorized for dt=0.05
+        X2, it2, conv2 = stepper._implicit_update(0, b, 0.025)
+        assert it2 > 0 and conv2             # GMRES fallback, not stale LU
         # and the fallback solves the dt=0.025 problem, not the old one
         ref_stepper = TimeStepper([ellipsoid(1.0, 1.0, 1.4, order=4)],
                                   bending_modulus=0.05)
-        X2_ref, _ = ref_stepper._implicit_update(0, b, 0.025)
+        X2_ref, _, _ = ref_stepper._implicit_update(0, b, 0.025)
         assert np.abs(X2 - X2_ref).max() <= 1e-7
 
 

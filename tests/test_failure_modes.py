@@ -1,14 +1,20 @@
 """Failure-injection and edge-case tests across modules."""
+import json
+
 import numpy as np
 import pytest
 
+from repro.analysis.faultinject import force_unresolved_contact, inject_nan
 from repro.bie import BoundarySolver
 from repro.collision import NCPSolver, solve_lcp
-from repro.config import NumericsOptions
+from repro.config import NumericsOptions, ReproConfig, ResilienceOptions
 from repro.core import Simulation, SimulationConfig
 from repro.fmm import Octree
 from repro.patches import cube_sphere
+from repro.physics.terms import Bending, Tension
+from repro.resilience import load_checkpoint, save_checkpoint
 from repro.surfaces import SpectralSurface, sphere
+from repro.surfaces.shapes import biconcave_rbc
 from repro.vesicle import SingularSelfInteraction
 
 
@@ -78,3 +84,87 @@ class TestSolverRobustness:
         X0 = sim.cells[0].X.copy()
         sim.step()
         assert np.abs(sim.cells[0].X - X0).max() < 1e-10
+
+
+def _resilient_scene(with_collisions=False, backend="direct",
+                     resilience=None):
+    cfg = ReproConfig(dt=0.05, forces=[Bending(0.01), Tension()],
+                      with_collisions=with_collisions, backend=backend,
+                      resilience=resilience or ResilienceOptions())
+    cells = [biconcave_rbc(order=6).translated([0.0, 0.0, 3.0 * i])
+             for i in range(2)]
+    return Simulation(cells, config=cfg)
+
+
+class TestFaultInjectedRecovery:
+    """The three recovery paths of :mod:`repro.resilience`, each driven
+    end-to-end by :mod:`repro.analysis.faultinject`."""
+
+    def test_nan_farfield_degrades_backend_and_run_stays_healthy(self):
+        # NaN in the fast backend's far-field output -> graceful
+        # degradation treecode -> direct, sticky for the rest of the run.
+        sim = _resilient_scene(backend="treecode")
+        with inject_nan(sim.backend, "cell_cell") as counter:
+            rep = sim.step()
+        assert counter.fired == 1
+        assert rep.backend_degraded_to == "direct"
+        assert rep.health.healthy and rep.retries == 0
+        rep2 = sim.step()  # no re-probe of the failed backend
+        assert rep2.backend_degraded_to == "direct"
+        assert all(np.isfinite(c.X).all() for c in sim.cells)
+
+    def test_forced_ncp_nonconvergence_triggers_dt_backoff(self):
+        # An unresolved contact projection rejects the step; the retry
+        # runs two dt/2 sub-steps landing back on the nominal grid.
+        sim = _resilient_scene(with_collisions=True)
+        with force_unresolved_contact(sim.stepper.ncp) as counter:
+            rep = sim.step()
+        assert counter.fired == 1
+        assert rep.retries == 1
+        assert len(rep.substeps) == 2
+        assert all(s.dt == pytest.approx(sim.config.dt / 2)
+                   for s in rep.substeps)
+        assert sim.t == pytest.approx(sim.config.dt)
+        assert rep.health.healthy
+
+    def test_kill_mid_run_then_resume_is_bit_identical(self, tmp_path):
+        # Reference: 6 uninterrupted steps. Crash run: checkpoint at
+        # step 3, drop the simulation ("kill"), resume from disk.
+        ref = _resilient_scene(with_collisions=True)
+        for _ in range(6):
+            ref.step()
+        sim = _resilient_scene(with_collisions=True)
+        for _ in range(3):
+            sim.step()
+        path = save_checkpoint(sim, str(tmp_path / "mid"))
+        del sim  # the "kill": only the on-disk checkpoint survives
+        resumed = load_checkpoint(path)
+        assert resumed.t == pytest.approx(3 * 0.05)
+        for _ in range(3):
+            resumed.step()
+        assert resumed.t == ref.t
+        for a, b in zip(ref.cells, resumed.cells):
+            assert np.array_equal(a.X, b.X)
+        for a, b in zip(ref.stepper.sigmas, resumed.stepper.sigmas):
+            assert np.array_equal(a, b)
+
+
+class TestCheckpointForwardCompat:
+    def test_unknown_manifest_keys_and_arrays_are_ignored(self, tmp_path):
+        # A same-version checkpoint written by a *newer* minor revision
+        # may carry extra manifest keys and extra arrays; loading must
+        # ignore them rather than crash.
+        sim = _resilient_scene()
+        path = save_checkpoint(sim, str(tmp_path / "fw"))
+        with np.load(path, allow_pickle=False) as data:
+            payload = {k: data[k] for k in data.files}
+        manifest = json.loads(str(payload["manifest"]))
+        manifest["future_policy"] = {"knob": 1}
+        for entry in manifest["cells"]:
+            entry["future_cell_field"] = "x"
+        payload["manifest"] = np.array(json.dumps(manifest))
+        payload["future_array"] = np.zeros(3)
+        np.savez(path, **payload)
+        resumed = load_checkpoint(path)
+        for a, b in zip(sim.cells, resumed.cells):
+            assert np.array_equal(a.X, b.X)

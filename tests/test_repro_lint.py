@@ -238,6 +238,71 @@ def f(x, dtype=None):
         assert rules_of(src) == []
 
 
+class TestSentinelSuppressRule:
+    def test_blanket_except_around_sentinel_fires(self):
+        src = """
+def guarded(stepper, report, snapshot, sentinel):
+    try:
+        return sentinel.evaluate(stepper, report, snapshot)
+    except Exception:
+        return None
+"""
+        assert "sentinel-suppress" in rules_of(src)
+
+    def test_bare_except_around_rollback_fires_both_rules(self):
+        src = """
+def rollback(stepper, snapshot):
+    try:
+        restore_state(stepper, snapshot)
+    except:
+        pass
+"""
+        assert rules_of(src) == ["bare-except", "sentinel-suppress"]
+
+    def test_swallowed_step_rejection_fires(self):
+        src = """
+def drive(sim):
+    try:
+        capture_state(sim.stepper, sim.t)
+        sim.step()
+    except StepRejectedError:
+        pass
+"""
+        assert rules_of(src) == ["sentinel-suppress"]
+
+    def test_named_handling_with_recovery_passes(self):
+        src = """
+def drive(sim, log):
+    try:
+        capture_state(sim.stepper, sim.t)
+        sim.step()
+    except StepRejectedError as exc:
+        log.error("step rejected: %s", exc.health)
+        raise
+"""
+        assert rules_of(src) == []
+
+    def test_catchall_without_sentinel_machinery_passes(self):
+        src = """
+def parse(text):
+    try:
+        return int(text)
+    except Exception:
+        return 0
+"""
+        assert rules_of(src) == []
+
+    def test_suppression_comment_with_reason(self):
+        src = """
+def guarded(stepper, report, snapshot, sentinel):
+    try:
+        return sentinel.evaluate(stepper, report, snapshot)
+    except Exception:  # repro-lint: disable=sentinel-suppress -- fuzz harness
+        return None
+"""
+        assert rules_of(src) == []
+
+
 class TestContractsPass:
     def test_conflicting_literal_dtype_fires(self):
         src = """

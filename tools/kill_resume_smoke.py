@@ -1,0 +1,151 @@
+"""Kill/resume checkpoint smoke: hard-kill a run mid-flight, resume in
+a fresh process, require the trajectory bit-identical to uninterrupted.
+
+Unlike the in-process round-trip tests (``tests/test_resilience.py``),
+this drives the real failure: the "crash" phase SIGKILLs its own process
+right after ``save_checkpoint`` — no ``atexit``, no teardown — so the
+only state that survives is the checkpoint file, and the resume runs in
+a separate interpreter with cold caches. The driver:
+
+1. spawns itself in ``--phase crash``: 3 steps of the 6-cell order-8
+   benchmark scene, ``save_checkpoint``, then ``SIGKILL`` (the nonzero
+   exit is *expected*);
+2. spawns itself in ``--phase resume``: ``load_checkpoint``, 3 more
+   steps, dump the final positions/tensions;
+3. runs the 6-step uninterrupted reference in-process and compares
+   bitwise (``np.array_equal``).
+
+Run:  PYTHONPATH=src python tools/kill_resume_smoke.py [--steps N]
+      [--order N] [--ncells N] [--workdir DIR]
+
+Exits 0 on bitwise equality, 1 otherwise. Wired into the nightly CI
+lane (the default lanes stay tier-1 only).
+"""
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+
+import numpy as np
+
+from repro.config import NumericsOptions, ReproConfig
+from repro.core import Simulation
+from repro.physics.terms import Bending, Gravity, Tension
+from repro.resilience import load_checkpoint, save_checkpoint
+from repro.surfaces import biconcave_rbc
+
+
+def build_scene(order: int, ncells: int) -> Simulation:
+    """The benchmark reference scene (see bench_step_breakdown.py)."""
+    spacing = 2.4
+    cells = [biconcave_rbc(
+        1.0, center=(spacing * (k // 2), spacing * (k % 2),
+                     0.15 * (-1.0) ** k), order=order)
+        for k in range(ncells)]
+    cfg = ReproConfig(dt=0.05, viscosity=1.0,
+                      forces=[Bending(0.01), Tension(),
+                              Gravity(0.5, (0.0, 0.0, -1.0))],
+                      backend="direct", with_collisions=True,
+                      numerics=NumericsOptions())
+    return Simulation(cells, config=cfg)
+
+
+def _dump_state(sim: Simulation, path: str) -> None:
+    arrays = {}
+    for i, c in enumerate(sim.cells):
+        arrays[f"X{i}"] = c.X
+        arrays[f"sigma{i}"] = sim.stepper.sigmas[i]
+    arrays["t"] = np.array(sim.t)
+    np.savez(path, **arrays)
+
+
+def phase_crash(args) -> None:
+    sim = build_scene(args.order, args.ncells)
+    for _ in range(args.steps):
+        sim.step()
+    save_checkpoint(sim, os.path.join(args.workdir, "mid"))
+    sys.stdout.flush()
+    # the hard kill: no cleanup, no atexit — only the checkpoint survives
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def phase_resume(args) -> None:
+    sim = load_checkpoint(os.path.join(args.workdir, "mid.npz"))
+    for _ in range(args.steps):
+        sim.step()
+    _dump_state(sim, os.path.join(args.workdir, "resumed"))
+
+
+def drive(args) -> int:
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = src + os.pathsep * bool(env.get("PYTHONPATH")) \
+        + env.get("PYTHONPATH", "")
+
+    def spawn(phase: str) -> int:
+        cmd = [sys.executable, os.path.abspath(__file__),
+               "--phase", phase, "--steps", str(args.steps),
+               "--order", str(args.order), "--ncells", str(args.ncells),
+               "--workdir", args.workdir]
+        return subprocess.run(cmd, env=env).returncode
+
+    rc = spawn("crash")
+    if rc == 0:
+        print("FAIL: crash phase exited cleanly; the kill never fired")
+        return 1
+    print(f"[smoke] crash phase killed as intended (exit {rc})")
+    if spawn("resume") != 0:
+        print("FAIL: resume phase crashed")
+        return 1
+
+    ref = build_scene(args.order, args.ncells)
+    for _ in range(2 * args.steps):
+        ref.step()
+    with np.load(os.path.join(args.workdir, "resumed.npz")) as data:
+        ok = True
+        for i, c in enumerate(ref.cells):
+            if not np.array_equal(data[f"X{i}"], c.X):
+                print(f"FAIL: cell {i} positions diverged "
+                      f"(max abs diff {np.abs(data[f'X{i}'] - c.X).max():.3e})")
+                ok = False
+            if not np.array_equal(data[f"sigma{i}"], ref.stepper.sigmas[i]):
+                print(f"FAIL: cell {i} tensions diverged")
+                ok = False
+        if float(data["t"]) != ref.t:
+            print(f"FAIL: time diverged ({float(data['t'])} vs {ref.t})")
+            ok = False
+    if ok:
+        print(f"[smoke] OK: kill at step {args.steps}, resumed to step "
+              f"{2 * args.steps} bit-identical to the uninterrupted run "
+              f"({args.ncells} cells, order {args.order})")
+    return 0 if ok else 1
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--phase", choices=("crash", "resume"), default=None,
+                    help=argparse.SUPPRESS)  # internal: spawned phases
+    ap.add_argument("--steps", type=int, default=3,
+                    help="steps before the kill (and again after resume)")
+    ap.add_argument("--order", type=int, default=8)
+    ap.add_argument("--ncells", type=int, default=6)
+    ap.add_argument("--workdir", default=None,
+                    help="scratch directory (default: a fresh tempdir)")
+    args = ap.parse_args()
+    if args.workdir is None:
+        args.workdir = tempfile.mkdtemp(prefix="kill_resume_smoke_")
+    if args.phase == "crash":
+        phase_crash(args)
+    elif args.phase == "resume":
+        phase_resume(args)
+    else:
+        sys.exit(drive(args))
+
+
+if __name__ == "__main__":
+    main()

@@ -40,6 +40,7 @@ ALL_RULES = (
     "bare-except",
     "mutable-default",
     "float32-cast",
+    "sentinel-suppress",
     "contract-dtype",
     "bad-suppression",
 )

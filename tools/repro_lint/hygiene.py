@@ -18,6 +18,15 @@ Rules:
   (``.astype(np.float32)``, ``dtype="float32"``) bypass the sanctioned
   ``farfield_dtype`` configuration path, where the working dtype is a
   parameter and float64 remains the default.
+- ``sentinel-suppress`` — health-sentinel machinery
+  (``HealthSentinel.evaluate``, ``warn_once``, ``capture_state`` /
+  ``restore_state``, ``StepRejectedError``) may not sit under a bare
+  ``except:`` or a blanket ``except (Base)Exception`` handler: the whole
+  point of the sentinel is that a failed check *propagates* as a
+  structured rejection; a catch-all around it silently converts "step
+  rejected, rolled back" into "nothing happened". Catch
+  ``StepRejectedError`` by name instead (and do something with it —
+  swallowing it with a bare ``pass`` is also flagged).
 """
 from __future__ import annotations
 
@@ -34,6 +43,67 @@ _NP_CONSTRUCTORS = {
 }
 
 _FREEZERS = {"freeze", "freeze_attributes"}
+
+#: call/name tokens that mark a statement as sentinel machinery for the
+#: ``sentinel-suppress`` rule.
+_SENTINEL_TOKENS = {"warn_once", "capture_state", "restore_state",
+                    "HealthSentinel", "StepRejectedError"}
+
+#: blanket exception classes a sentinel call may not sit under.
+_BLANKET_HANDLERS = {"Exception", "BaseException"}
+
+
+def _touches_sentinel(nodes) -> Optional[int]:
+    """Line of the first sentinel-machinery reference under ``nodes``,
+    or None. Matches calls to the sentinel helpers, ``.evaluate`` on a
+    receiver whose name mentions 'sentinel', and any use of
+    ``StepRejectedError``/``HealthSentinel``."""
+    for stmt in nodes:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Name) and node.id in _SENTINEL_TOKENS:
+                return node.lineno
+            if isinstance(node, ast.Attribute):
+                if node.attr in _SENTINEL_TOKENS:
+                    return node.lineno
+                if node.attr == "evaluate" and \
+                        "sentinel" in (terminal_identifier(node.value)
+                                       or "").lower():
+                    return node.lineno
+    return None
+
+
+def _only_passes(body) -> bool:
+    return all(isinstance(s, ast.Pass)
+               or (isinstance(s, ast.Expr)
+                   and isinstance(s.value, ast.Constant)
+                   and s.value.value is Ellipsis) for s in body)
+
+
+def _check_sentinel_suppress(path: str, node: ast.Try,
+                             out: list[Violation]) -> None:
+    line = _touches_sentinel(node.body)
+    if line is None:
+        return
+    for handler in node.handlers:
+        names = []
+        if handler.type is not None:
+            types = (handler.type.elts
+                     if isinstance(handler.type, ast.Tuple)
+                     else [handler.type])
+            names = [terminal_identifier(t) for t in types]
+        if handler.type is None or \
+                any(n in _BLANKET_HANDLERS for n in names):
+            out.append(Violation(
+                path, handler.lineno, "sentinel-suppress",
+                "catch-all handler around health-sentinel machinery "
+                "(line %d) silently suppresses step rejection; catch "
+                "StepRejectedError by name" % line))
+        elif "StepRejectedError" in names and _only_passes(handler.body):
+            out.append(Violation(
+                path, handler.lineno, "sentinel-suppress",
+                "StepRejectedError swallowed with 'pass'; a rejected "
+                "step must be surfaced (log, re-raise, or recover "
+                "explicitly)"))
 
 
 def _is_float32_literal(node: ast.AST) -> bool:
@@ -151,6 +221,8 @@ def check_hygiene(path: str, tree: ast.Module,
                 path, node.lineno, "bare-except",
                 "bare 'except:' also catches KeyboardInterrupt/SystemExit; "
                 "name the exception types"))
+        elif isinstance(node, ast.Try):
+            _check_sentinel_suppress(path, node, out)
         elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
             for default in (node.args.defaults + node.args.kw_defaults):
                 if default is None:
