@@ -36,10 +36,13 @@ fused/circulant speedup ratio against the committed baseline, so the
 numerics on the ``"thread"`` executor with N workers) and records its
 trajectory deviation against the serial run — the executor contract
 makes that deviation exactly 0.0, so the row doubles as a determinism
-check. ``--workers-sweep`` times the threaded executor at workers in {1, 2, 4,
-8} and records ms/step per worker count — the data behind the default
-``NumericsOptions.workers`` policy (serial unless the host has spare
-physical cores; see the field's docstring). ``--backends`` adds an
+check. ``--workers-sweep`` times the ``thread`` *and* ``process`` executors at
+workers in {1, 2, 4, 8} and records ms/step per executor per worker
+count — the data behind the ``NumericsOptions.workers`` policy
+(``workers="auto"`` resolves to ``min(cpu_count, ncells)``; on a
+single-core host every sweep row degenerates to serial dispatch, which
+is exactly what the committed numbers should show; see the field's
+docstring). ``--backends`` adds an
 interaction-backend comparison row (``backend_compare``): the stacked
 ``cell_cell`` sum of a many-cell lattice timed under ``direct``,
 ``treecode`` and ``fmm`` with each accelerated backend's relative error
@@ -287,10 +290,13 @@ def run_scene(steps: int, reduced: bool, workers: int = 0,
         }
     if workers_sweep:
         sweep = {}
-        for w in WORKERS_SWEEP:
-            _, ms_w, _ = _timed_run(order, ncells, steps, 1,
-                                    executor="thread", workers=w)
-            sweep[str(w)] = ms_w
+        for executor in ("thread", "process"):
+            row = {}
+            for w in WORKERS_SWEEP:
+                _, ms_w, _ = _timed_run(order, ncells, steps, 1,
+                                        executor=executor, workers=w)
+                row[str(w)] = ms_w
+            sweep[executor] = row
         out["workers_sweep_ms_per_step"] = sweep
     if backends:
         out["backend_compare"] = backend_compare(
@@ -419,8 +425,8 @@ def main() -> None:
                          "(0 = skip); records its (zero) trajectory "
                          "deviation vs serial, never gated")
     ap.add_argument("--workers-sweep", action="store_true",
-                    help="time the thread executor at workers in "
-                         f"{WORKERS_SWEEP} (informational, never gated)")
+                    help="time the thread and process executors at workers "
+                         f"in {WORKERS_SWEEP} (informational, never gated)")
     ap.add_argument("--backends", action="store_true",
                     help="add the direct/treecode/fmm cell_cell "
                          "comparison row (64 cells full / 16 reduced)")
@@ -463,8 +469,9 @@ def main() -> None:
                   f"{ro['max_traj_deviation_vs_off']:.1e}")
         sweep = run_.get("workers_sweep_ms_per_step")
         if sweep is not None:
-            print(f"workers sweep[{key}]: " + ", ".join(
-                f"{w}: {ms:.0f} ms/step" for w, ms in sweep.items()))
+            for executor, row in sweep.items():
+                print(f"workers sweep[{key}][{executor}]: " + ", ".join(
+                    f"{w}: {ms:.0f} ms/step" for w, ms in row.items()))
         bc = run_.get("backend_compare")
         if bc is not None:
             print(f"backends[{key}] ({bc['ncells']} cells, order "

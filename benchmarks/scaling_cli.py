@@ -1,0 +1,220 @@
+"""Shared measurement harness behind the scaling benches' CLIs.
+
+``bench_fig4_strong_scaling.py`` and ``bench_fig5_weak_scaling_skx.py``
+keep their pytest-benchmark faces (the paper-scale model tables), and
+gain a ``__main__`` that *measures* the process executor on this host
+and compares against the same :class:`repro.scaling.ComponentModel`
+instantiated with a local machine model. Both write their section into
+one committed ``BENCH_scaling.json``.
+
+The measured rows run the reference free-space lattice (direct backend,
+collisions on) once serially and once per worker count on the
+``"process"`` executor, and record:
+
+- wall-clock ms/step and the speedup/efficiency vs the serial run;
+- the max trajectory deviation vs serial — **exactly 0.0** by the
+  executor contract; this, not speedup, is what CI gates (a single-core
+  container cannot exhibit parallel speedup, and the committed numbers
+  must say so honestly);
+- the process pool's communication ledger (scatter/ghost/gather bytes
+  priced by :class:`repro.runtime.CommLedger`), per step;
+- the model-predicted efficiency at the same rank count, from the
+  calibrated per-unit costs, the measured Morton-partition imbalance
+  curve, and a local machine model whose alpha/beta price the fork
+  pool's per-message dispatch overhead and pickle bandwidth.
+"""
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.config import NumericsOptions, ReproConfig
+from repro.core.simulation import Simulation
+from repro.physics.terms import Bending, Gravity, Tension
+from repro.scaling import MachineModel, calibrate_costs
+from repro.scaling.harness import measure_imbalance_curve
+from repro.scaling.perfmodel import ComponentModel, Workload
+from repro.surfaces import biconcave_rbc
+
+#: One rank per "node"; ``node_speed`` is relative to this same host
+#: (the costs are calibrated here too, so 1.0). ``alpha`` is the
+#: per-message dispatch overhead of the fork pool (apply_async + queue
+#: round trip), ``beta`` the effective pickle bandwidth of numpy
+#: payloads through the pipe.
+LOCAL = MachineModel(name="LOCAL", cores_per_node=1, node_speed=1.0,
+                     alpha=2.0e-4, beta=0.8e9, collective_factor=1.0)
+
+#: Components that exist in the measured free-space scene (no vessel
+#: patches, so the BIE components are structurally zero there and are
+#: excluded from the model totals compared against measurement).
+SCENE_COMPONENTS = ("COL", "Other-FMM", "Other")
+
+
+def build_scene(ncells: int, order: int, executor: str = "serial",
+                workers: int = 1) -> Simulation:
+    """The reference lattice of ``bench_step_breakdown`` at an arbitrary
+    cell count (spacing 2.4, alternating z-offset, collisions on)."""
+    spacing = 2.4
+    cells = [biconcave_rbc(
+        1.0, center=(spacing * (k // 2), spacing * (k % 2),
+                     0.15 * (-1.0) ** k), order=order)
+        for k in range(ncells)]
+    cfg = ReproConfig(dt=0.05, viscosity=1.0,
+                      forces=[Bending(0.01), Tension(),
+                              Gravity(0.5, (0.0, 0.0, -1.0))],
+                      backend="direct", with_collisions=True,
+                      numerics=NumericsOptions(executor=executor,
+                                               workers=workers))
+    return Simulation(cells, config=cfg)
+
+
+def worker_counts(ranks: int) -> list[int]:
+    """1, 2, 4, ... up to ``ranks`` (``ranks`` always included)."""
+    counts = []
+    w = 1
+    while w < ranks:
+        counts.append(w)
+        w *= 2
+    counts.append(ranks)
+    return counts
+
+
+def _timed_run(sim: Simulation, steps: int) -> float:
+    t0 = time.perf_counter()
+    sim.run(steps)
+    return 1e3 * (time.perf_counter() - t0) / steps
+
+
+def _deviation(a: Simulation, b: Simulation) -> float:
+    return max(float(np.abs(x.X - y.X).max())
+               for x, y in zip(a.cells, b.cells))
+
+
+def _ledger_row(sim: Simulation, steps: int) -> dict:
+    ledger = getattr(sim.stepper.executor, "ledger", None)
+    if ledger is None:
+        return {}
+    return {
+        "comm_bytes_per_step": round(ledger.total_bytes() / steps),
+        "comm_messages_per_step": round(ledger.total_messages() / steps),
+        "comm_bytes_by_phase_op": {
+            f"{ph}/{op}": s.bytes
+            for (ph, op), s in sorted(ledger.stats.items())},
+    }
+
+
+def local_model() -> ComponentModel:
+    """ComponentModel for *this host*: calibrated per-unit costs, the
+    measured Morton imbalance curve, and the LOCAL machine model."""
+    costs = calibrate_costs(quick=True)
+    return ComponentModel(costs, LOCAL,
+                          imbalance=measure_imbalance_curve())
+
+
+def _scene_workload(ncells: int, order: int) -> Workload:
+    cell = biconcave_rbc(1.0, order=order)
+    return Workload(n_rbc=ncells, n_patches=0,
+                    points_per_rbc=cell.n_points,
+                    collision_points_per_rbc=8 * cell.n_points,
+                    volume_fraction=0.0)
+
+
+def model_scene_time(model: ComponentModel, ncells: int, order: int,
+                     ranks: int) -> float:
+    """Predicted per-step seconds of the measured scene's components."""
+    t = model.predict(_scene_workload(ncells, order), cores=ranks)
+    return sum(t[k] for k in SCENE_COMPONENTS)
+
+
+def measure_rows(ncells_of, steps: int, ranks: int, order: int,
+                 weak: bool = False) -> dict:
+    """Serial baseline + one ``"process"`` row per worker count.
+
+    ``ncells_of(w)`` maps a worker count to the scene size (constant for
+    strong scaling, proportional for weak scaling). Every process row is
+    bit-compared against a serial run of the *same* scene.
+    """
+    model = local_model()
+    n0 = ncells_of(1)
+    serial = build_scene(n0, order)
+    ms0 = _timed_run(serial, steps)
+    t_model0 = model_scene_time(model, n0, order, ranks=1)
+    serial_by_size = {n0: serial}
+    rows = []
+    for w in worker_counts(ranks):
+        n = ncells_of(w)
+        ref = serial_by_size.get(n)
+        if ref is None:
+            ref = build_scene(n, order)
+            _timed_run(ref, steps)
+            serial_by_size[n] = ref
+        sim = build_scene(n, order, executor="process", workers=w)
+        ms = _timed_run(sim, steps)
+        t_model = model_scene_time(model, n, order, ranks=w)
+        if weak:
+            eff = ms0 / ms
+            model_eff = t_model0 / t_model
+        else:
+            eff = ms0 / (ms * w)
+            model_eff = t_model0 / (t_model * w)
+        row = {
+            "workers": w,
+            "ncells": n,
+            "ms_per_step": round(ms, 2),
+            "speedup_vs_serial": round(ms0 / ms, 3),
+            "efficiency": round(eff, 3),
+            "model_efficiency": round(model_eff, 3),
+            "max_traj_deviation_vs_serial": _deviation(ref, sim),
+        }
+        row.update(_ledger_row(sim, steps))
+        rows.append(row)
+    return {
+        "scene": {"order": order, "backend": "direct", "steps": steps,
+                  "weak": weak},
+        "serial_ms_per_step": round(ms0, 2),
+        "rows": rows,
+        "model": {"machine": LOCAL.name, "alpha_s": LOCAL.alpha,
+                  "beta_bytes_per_s": LOCAL.beta,
+                  "components": list(SCENE_COMPONENTS)},
+    }
+
+
+def host_info() -> dict:
+    n = os.cpu_count() or 1
+    note = ("single-core container: process-pool rows cannot beat serial "
+            "(dispatch + pickle overhead only); the bit-identity column "
+            "is the gate here, speedup is recordable only where cores "
+            "exist" if n == 1 else
+            f"{n} cores: the >1.5x-at-4-workers criterion applies")
+    return {"cpu_count": n, "note": note}
+
+
+def check_rows(section: dict) -> list[str]:
+    """The CI gate: completion + exact bit-identity, never speedup."""
+    failures = []
+    for row in section["rows"]:
+        dev = row["max_traj_deviation_vs_serial"]
+        status = "OK" if dev == 0.0 else "REGRESSION"
+        print(f"[check] workers={row['workers']} ncells={row['ncells']}: "
+              f"{row['ms_per_step']:.0f} ms/step, deviation {dev:.1e} "
+              f"{status}")
+        if dev != 0.0:
+            failures.append(f"workers={row['workers']}")
+    return failures
+
+
+def write_section(out_path: str, name: str, payload: dict) -> dict:
+    """Merge one bench's section into the shared BENCH_scaling.json."""
+    doc = {}
+    if os.path.exists(out_path):
+        with open(out_path) as fh:
+            doc = json.load(fh)
+    doc["host"] = host_info()
+    doc[name] = payload
+    with open(out_path, "w") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+    return doc

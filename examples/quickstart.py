@@ -59,6 +59,28 @@ def main() -> None:
     # the far-field smooth quadrature in single precision (~1e-6
     # relative far-field error; every near/singular path stays float64).
     #
+    # === Scaling out ====================================================
+    # cfg.numerics.executor = "process" steps past the GIL: the cell-cell
+    # interaction sum is sharded over worker *processes* by the same
+    # Morton space-filling-curve partition the scaling harness models.
+    # Workers never receive pickled operator caches — the per-order
+    # tables (Legendre, rotation, circulant mode symbols) are
+    # geometry-independent and are rebuilt locally in each worker; only
+    # spectral coefficients, positions, and densities cross the process
+    # boundary, and that traffic is priced through the
+    # repro.runtime.CommLedger (scatter / ghost alltoallv / gather), the
+    # same ledger the perfmodel uses to predict paper-scale runs.
+    # Results are gathered by cell index, so process == thread == serial
+    # *bit-identically* — "checked-process" wraps the pool in the
+    # verifying executor if you want that enforced at runtime.
+    # cfg.numerics.workers = "auto" resolves to min(cpu_count, ncells)
+    # (a single-core host degenerates to serial dispatch; small scenes
+    # never over-shard). Strong/weak scaling of the process executor
+    # against the calibrated performance model is measured by
+    #   python benchmarks/bench_fig4_strong_scaling.py --ranks 4
+    #   python benchmarks/bench_fig5_weak_scaling_skx.py --ranks 4
+    # which write the committed benchmarks/BENCH_scaling.json.
+    #
     # Determinism contract & tooling: per-cell tasks may only write
     # state owned by their own cell, and every lru-cached numpy table
     # (quadrature nodes, Legendre/rotation tables, operator matrices)

@@ -116,27 +116,34 @@ class NumericsOptions:
     #: Executor of the per-cell stage pipeline (a key of
     #: :data:`repro.runtime.executor.EXECUTORS`): ``"serial"`` (the
     #: default) runs every per-cell task in order on the calling thread;
-    #: ``"thread"`` maps them over a pool of ``workers`` threads. The
-    #: per-cell tasks are dense-linear-algebra heavy (they release the
-    #: GIL) and touch disjoint state, and results are always gathered by
-    #: cell index, so the threaded schedule is bit-identical to serial.
+    #: ``"thread"`` maps them over a pool of ``workers`` threads;
+    #: ``"process"`` shards the interaction backends' per-source batches
+    #: over a pool of ``workers`` processes (cells Morton-partitioned,
+    #: only coefficients/positions/densities shipped — see
+    #: :mod:`repro.core.shardwork`) while every other stage runs inline;
+    #: ``"checked"`` / ``"checked-process"`` wrap the thread / process
+    #: pool with the runtime determinism checks (frozen shared tables +
+    #: sampled bit-identical task reruns). The per-cell tasks touch
+    #: disjoint state and results are always gathered by cell index, so
+    #: every executor is bit-identical to serial.
     executor: str = "serial"
-    #: Worker count of the ``"thread"`` executor (ignored by
-    #: ``"serial"``). ``workers=1`` still runs tasks on a pool thread but
+    #: Worker count of the ``"thread"``/``"process"`` executors (ignored
+    #: by ``"serial"``). ``workers=1`` still runs tasks on a pool but
     #: produces the same results as the serial executor.
     #:
-    #: Default policy: stay at ``1`` (with the ``"serial"`` executor)
-    #: unless the host has spare *physical* cores for this process.
-    #: The per-cell tasks overlap only where BLAS/kernel code releases
-    #: the GIL, so oversubscribing a core — or competing with an
-    #: already-parallel BLAS — adds scheduling overhead without
-    #: overlap; on a single-core host the ``--workers-sweep`` rows of
-    #: ``benchmarks/bench_step_breakdown.py`` are flat to slightly
-    #: negative across workers 1/2/4/8. Measure with that sweep on your
-    #: host and set ``workers`` to the knee of the curve (typically the
-    #: physical core count, with diminishing returns beyond 4 on scenes
-    #: under ~16 cells).
-    workers: int = 1
+    #: ``"auto"`` applies the recommended policy: ``min(cpu_count,
+    #: ncells)`` — one worker per core, capped at the cell count since a
+    #: shard needs at least one cell (resolved in
+    #: :func:`repro.runtime.executor.resolve_workers`). On a single-core
+    #: host that degenerates to ``1``, which matches measurement: the
+    #: ``--workers-sweep`` rows of ``benchmarks/bench_step_breakdown.py``
+    #: are flat to slightly negative there for threads and pay pickling
+    #: overhead for processes. On multi-core hosts prefer ``"auto"``
+    #: with ``"process"`` for many-cell scenes (the per-source
+    #: interaction batches dominate and shard cleanly) and ``"thread"``
+    #: where BLAS-released-GIL overlap suffices; measure with the sweep
+    #: and pin the knee of the curve if you need an explicit count.
+    workers: "int | str" = 1
     #: Precision of the *far-field* smooth quadrature: ``"float32"`` runs
     #: the far block of :func:`repro.kernels.stokes_slp_apply` and the
     #: treecode equivalent-density (M2P) sums in single precision —
@@ -336,8 +343,11 @@ class ReproConfig:
             if n.executor not in EXECUTORS:
                 errors.append(f"unknown executor {n.executor!r}; "
                               f"registered: {sorted(EXECUTORS)}")
-            if n.workers < 1:
-                errors.append(f"workers must be >= 1, got {n.workers}")
+            if n.workers != "auto" and (
+                    not isinstance(n.workers, int)
+                    or isinstance(n.workers, bool) or n.workers < 1):
+                errors.append("workers must be >= 1 or 'auto', got "
+                              f"{n.workers!r}")
             if n.farfield_dtype not in ("float32", "float64"):
                 errors.append("farfield_dtype must be 'float32' or "
                               f"'float64', got {n.farfield_dtype!r}")

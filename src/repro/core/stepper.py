@@ -44,7 +44,7 @@ from ..physics.terms import (BackgroundFlow, Bending, CellState, ForceTerm,
                              Gravity, Tension)
 from ..analysis.contracts import set_debug_checks
 from ..resilience.health import warn_once
-from ..runtime.executor import make_executor
+from ..runtime.executor import make_executor, resolve_workers
 from ..surfaces import SpectralSurface
 from ..vesicle import SingularSelfInteraction
 from ..collision import NCPSolver, NCPReport
@@ -143,8 +143,14 @@ class TimeStepper:
             # module-level functions, not per-stepper state.
             set_debug_checks(True)
         #: executor the per-cell stage tasks are mapped over.
-        self.executor = make_executor(self.options.executor,
-                                      self.options.workers)
+        #: ``workers="auto"`` resolves against the cell count here — a
+        #: pool wider than the shardable work would only sit idle.
+        self.executor = make_executor(
+            self.options.executor,
+            resolve_workers(self.options.workers, len(self.cells)))
+        # Process pools fold worker-side timer deltas into these
+        # accumulators (a no-op attach everywhere else).
+        self.executor.attach(self.timers)
         #: order-grouped SoA view used for the stacked-GEMM paths.
         self.batch = CellBatch(self.cells)
 

@@ -16,8 +16,9 @@ pluggable executors (serial / worker-thread pool) that the time stepper
 maps its per-cell stage tasks over.
 """
 from .communicator import VirtualComm, CommLedger
-from .executor import (EXECUTORS, Executor, SerialExecutor,
-                       ThreadPoolExecutor, make_executor, register_executor)
+from .executor import (EXECUTORS, Executor, ProcessPoolExecutor, ProcessTask,
+                       SerialExecutor, ThreadPoolExecutor, make_executor,
+                       register_executor, resolve_workers, worker_timers)
 from .partition import block_partition, partition_by_morton
 from .parallel_sort import parallel_sample_sort
 from .spatial_hash import SpatialHash, morton_keys_3d, morton_decode_3d
@@ -28,9 +29,13 @@ __all__ = [
     "Executor",
     "SerialExecutor",
     "ThreadPoolExecutor",
+    "ProcessPoolExecutor",
+    "ProcessTask",
     "EXECUTORS",
     "make_executor",
     "register_executor",
+    "resolve_workers",
+    "worker_timers",
     "block_partition",
     "partition_by_morton",
     "parallel_sample_sort",

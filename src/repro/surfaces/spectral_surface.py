@@ -184,7 +184,7 @@ class SpectralSurface:
         them per cell. The coefficients must describe the *current*
         positions; only the shape is validated.
         """
-        coeffs = np.asarray(coeffs)
+        coeffs = np.ascontiguousarray(coeffs)
         expected = (3, self.order + 1, 2 * self.order + 1)
         if coeffs.shape != expected:
             raise ValueError(f"expected coefficients of shape {expected}, "

@@ -330,6 +330,104 @@ def f(x, work=np.float64):
         assert rules_of(src) == []
 
 
+class TestPicklablePass:
+    def test_nested_process_task_class_fires(self):
+        src = """
+from repro.runtime.executor import ProcessTask
+
+def build():
+    class Shard(ProcessTask):
+        def __call__(self, item):
+            return item
+    return Shard()
+"""
+        assert rules_of(src) == ["picklable-task"]
+        assert lines_of(src, "picklable-task") == [5]
+
+    def test_module_level_process_task_passes(self):
+        src = """
+from repro.runtime.executor import ProcessTask
+
+class Shard(ProcessTask):
+    def __call__(self, item):
+        return item.run()
+
+RUN = Shard()
+"""
+        assert rules_of(src) == []
+
+    def test_transitive_subclass_tracked(self):
+        src = """
+from repro.runtime.executor import ProcessTask
+
+class Base(ProcessTask):
+    pass
+
+def build():
+    class Shard(Base):
+        def __call__(self, item):
+            return item
+    return Shard()
+"""
+        assert rules_of(src) == ["picklable-task"]
+
+    def test_lambda_instance_state_fires(self):
+        src = """
+from repro.runtime.executor import ProcessTask
+
+class Shard(ProcessTask):
+    def __init__(self, scale):
+        self.fn = lambda x: x * scale
+"""
+        assert rules_of(src) == ["picklable-task"]
+
+    def test_lambda_on_process_map_fires(self):
+        src = """
+def fan_out(process_executor, items):
+    return process_executor.map(lambda x: x * 2, items)
+"""
+        assert rules_of(src) == ["picklable-task"]
+
+    def test_local_closure_on_process_map_fires(self):
+        src = """
+def fan_out(process_pool, items):
+    total = []
+
+    def task(x):
+        return x * 2
+
+    return process_pool.map(task, items)
+"""
+        assert rules_of(src) == ["picklable-task"]
+
+    def test_module_level_task_on_process_map_passes(self):
+        src = """
+def run_shard(shard):
+    return shard.run()
+
+def fan_out(process_executor, items):
+    return process_executor.map(run_shard, items)
+"""
+        assert rules_of(src) == []
+
+    def test_generic_executor_closures_not_flagged(self):
+        """Closures on a generic executor are legal — the process
+        executor runs non-ProcessTask callables inline by design."""
+        src = """
+def fan_out(executor, items):
+    return executor.map(lambda x: x * 2, items)
+"""
+        assert rules_of(src) == []
+
+    def test_suppression_with_reason(self):
+        src = """
+def fan_out(process_executor, items):
+    # repro-lint: disable=picklable-task — test fixture maps inline only
+    return process_executor.map(lambda x: x * 2, items)
+"""
+        assert rules_of(src) == []
+
+
 class TestSuppressions:
     SRC = """
 def f(x):

@@ -16,6 +16,10 @@
 3. **Array contracts** (:mod:`.contracts_lint`) — cross-checks the
    dtypes declared in ``@checked(...)`` decorations against literal
    ``astype``/constructor dtypes in the function body.
+4. **Process picklability** (:mod:`.picklable`) — ``ProcessTask``
+   subclasses must be module-level with picklable instance state, and
+   callables mapped on the process executor must not be lambdas or
+   local closures (workers unpickle tasks by module path).
 
 Suppress a finding with a trailing (or directly preceding) comment::
 
@@ -31,6 +35,7 @@ from .suppressions import Suppressions
 from .determinism import check_determinism
 from .hygiene import check_hygiene
 from .contracts_lint import check_contracts
+from .picklable import check_picklable
 
 #: every rule id a suppression comment may name.
 ALL_RULES = (
@@ -42,10 +47,12 @@ ALL_RULES = (
     "float32-cast",
     "sentinel-suppress",
     "contract-dtype",
+    "picklable-task",
     "bad-suppression",
 )
 
-_PASSES = (check_determinism, check_hygiene, check_contracts)
+_PASSES = (check_determinism, check_hygiene, check_contracts,
+           check_picklable)
 
 
 def lint_source(path: str, source: str) -> list[Violation]:

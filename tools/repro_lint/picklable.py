@@ -1,0 +1,135 @@
+"""Process-executor picklability pass (rule ``picklable-task``).
+
+The ``"process"`` executor (``repro.runtime.executor``) ships a mapped
+callable to worker processes by pickling it, and pickle resolves
+functions and classes *by module path*. A lambda, a ``def`` nested in a
+function, or a per-instance callable attribute has no module path —
+dispatch would fail at runtime, or worse, a fork-inherited closure would
+silently read stale parent state. This pass enforces the static half of
+the :class:`~repro.runtime.executor.ProcessTask` contract:
+
+- every ``ProcessTask`` subclass must be defined at module top level
+  (transitive subclasses within the module are tracked);
+- no method of a ``ProcessTask`` subclass may assign a lambda or a
+  locally-defined function to an attribute of ``self`` (unpicklable
+  instance state);
+- a ``map`` call on a receiver whose name marks it as the process
+  executor (terminal identifier containing ``process``) must not pass a
+  lambda or a function defined locally in the enclosing scope.
+
+Generic ``self.executor.map(...)`` sites are *not* flagged: the process
+executor runs non-``ProcessTask`` callables inline in the parent by
+design, so closures are legal there. As everywhere, a finding can be
+suppressed with ``# repro-lint: disable=picklable-task — <reason>``.
+"""
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from .base import Violation, terminal_identifier
+
+_RULE = "picklable-task"
+
+
+def _base_names(cls: ast.ClassDef) -> set[str]:
+    out = set()
+    for base in cls.bases:
+        name = terminal_identifier(base)
+        if name is not None:
+            out.add(name)
+    return out
+
+
+def _process_task_classes(tree: ast.Module) -> set[str]:
+    """Names of ProcessTask subclasses anywhere in the module, following
+    same-module inheritance chains to a fixed point."""
+    classes = [n for n in ast.walk(tree) if isinstance(n, ast.ClassDef)]
+    tasky = {"ProcessTask"}
+    changed = True
+    while changed:
+        changed = False
+        for cls in classes:
+            if cls.name not in tasky and _base_names(cls) & tasky:
+                tasky.add(cls.name)
+                changed = True
+    return tasky - {"ProcessTask"}
+
+
+def _is_unpicklable_value(node: ast.AST, local_defs: set[str]) -> Optional[str]:
+    """Why a value expression cannot cross the process boundary, or None."""
+    if isinstance(node, ast.Lambda):
+        return "a lambda"
+    if isinstance(node, ast.Name) and node.id in local_defs:
+        return f"the locally-defined function {node.id!r}"
+    return None
+
+
+def check_picklable(path: str, tree: ast.Module,
+                    source: str) -> list[Violation]:
+    out: list[Violation] = []
+    task_classes = _process_task_classes(tree)
+    top_level = {n.name for n in tree.body if isinstance(n, ast.ClassDef)}
+
+    # 1) ProcessTask subclasses must live at module top level.
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.ClassDef) and node.name in task_classes
+                and node.name not in top_level):
+            out.append(Violation(
+                path, node.lineno, _RULE,
+                f"ProcessTask subclass {node.name!r} is not defined at "
+                "module top level; workers unpickle tasks by module path, "
+                "so nested task classes fail to dispatch"))
+
+    # 2) No unpicklable instance state inside ProcessTask subclasses.
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.ClassDef)
+                and node.name in task_classes):
+            continue
+        for stmt in ast.walk(node):
+            if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                continue
+            targets = (stmt.targets if isinstance(stmt, ast.Assign)
+                       else [stmt.target])
+            if stmt.value is None or not isinstance(stmt.value, ast.Lambda):
+                continue
+            for t in targets:
+                if (isinstance(t, ast.Attribute)
+                        and isinstance(t.value, ast.Name)
+                        and t.value.id == "self"):
+                    out.append(Violation(
+                        path, stmt.lineno, _RULE,
+                        f"ProcessTask subclass {node.name!r} stores a "
+                        f"lambda on 'self.{t.attr}'; instance state must "
+                        "be picklable to cross the process boundary"))
+
+    # 3) Explicit process-executor map sites must pass picklable tasks.
+    def visit(node: ast.AST, func: Optional[ast.FunctionDef]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for child in node.body:
+                visit(child, node)
+            return
+        if isinstance(node, ast.Call):
+            fn = node.func
+            receiver = (terminal_identifier(fn.value) or ""
+                        if isinstance(fn, ast.Attribute) else "")
+            if (isinstance(fn, ast.Attribute) and fn.attr == "map"
+                    and "process" in receiver.lower() and node.args):
+                local_defs = set()
+                if func is not None:
+                    local_defs = {
+                        n.name for n in ast.walk(func)
+                        if isinstance(n, ast.FunctionDef) and n is not func}
+                why = _is_unpicklable_value(node.args[0], local_defs)
+                if why is not None:
+                    out.append(Violation(
+                        path, node.lineno, _RULE,
+                        f"mapping {why} on the process executor; workers "
+                        "unpickle the callable by module path — map a "
+                        "module-level ProcessTask instead"))
+        for child in ast.iter_child_nodes(node):
+            visit(child, func)
+
+    for top in tree.body:
+        visit(top, None)
+    return out
