@@ -201,6 +201,46 @@ def main() -> None:
         print(f"checkpoint     : saved at t={resumed.t - cfg.dt:.2f}, "
               f"resumed one step bit-identical: {bool(same)}")
 
+    # === Running sweeps =================================================
+    # The production workload is rarely one big scene — it is many
+    # *independent* scenes (a parameter sweep, per-patient configs).
+    # repro.sweep makes one scene a serializable, schedulable unit:
+    # a SceneJob is just a ReproConfig + initial cell state + duration,
+    # and SweepRunner multiplexes N of them over the same executor
+    # registry ("serial" / "thread" / "process") the per-cell stages
+    # use. The guarantees, in order of importance:
+    #
+    # - bit-identity: every job runs through the same pure run_scene(),
+    #   so an N-job process sweep's trajectories are bit-identical to
+    #   running each job alone (gated by the CI sweep-smoke lane);
+    # - failure isolation: one scene's StepRejectedError (or crash)
+    #   lands as a "failed" SceneResult; the rest of the sweep runs on;
+    # - kill/resume: give the runner a workdir and each job checkpoints
+    #   periodically while completed jobs land in an atomically-updated
+    #   manifest — re-running an interrupted sweep restores finished
+    #   jobs verbatim and resumes the rest from their frontier
+    #   (vessel/recycler scenes, where Simulation.checkpointable is
+    #   False, degrade to non-resumable jobs instead of aborting);
+    # - warm caches: the geometry-independent per-order tables every
+    #   scene of the same order shares are pre-built once in the parent
+    #   (repro.runtime.warm_caches), so forked workers inherit them
+    #   copy-on-write instead of rebuilding them per job.
+    #
+    # Throughput vs one-at-a-time is measured (and the bit-identity
+    # gate enforced) by benchmarks/bench_sweep_throughput.py, which
+    # writes the committed benchmarks/BENCH_sweep.json.
+    from repro.sweep import SceneJob, SweepRunner
+    jobs = [SceneJob.from_cells(
+        f"kappa={kappa:g}", presets.relaxation(dt=0.05,
+                                               bending_modulus=kappa),
+        [biconcave_rbc(radius=1.0, order=6)], n_steps=2)
+        for kappa in (0.03, 0.05, 0.08)]
+    report = SweepRunner(jobs, executor="process", workers="auto").run()
+    print("\n=== parameter sweep (3 scenes, process executor) ===")
+    for res in report.results:
+        print(f"{res.job_id:>12} : {res.status}  t={res.t:.2f}  "
+              f"steps={res.steps_done}")
+
 
 if __name__ == "__main__":
     main()

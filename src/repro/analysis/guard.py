@@ -19,12 +19,73 @@ registered without freezing.
 from __future__ import annotations
 
 import contextlib
+import functools
+import threading
 import weakref
 
 import numpy as np
 
 __all__ = ["DeterminismError", "freeze", "freeze_attributes",
-           "register_shared", "iter_shared_arrays", "tables_frozen"]
+           "register_shared", "iter_shared_arrays", "tables_frozen",
+           "locked_cache", "PER_ORDER_CACHE_SIZE", "HEAVY_TABLE_CACHE_SIZE"]
+
+# -- shared-table cache policy ---------------------------------------------
+#
+# The per-order tables are keyed by spherical-harmonic order (plus an
+# aliasing order for some), and realistic sweeps mix at most a few dozen
+# distinct orders — but the old bounds (8-32) were sized for a single
+# simulation per process, where at most two orders are live. Under a
+# mixed-order many-scene sweep, an lru_cache(8) rotation-table factory
+# thrashes: scene A's table is evicted while scene A still runs, and the
+# next refresh rebuilds it from scratch mid-job. The bounds below are
+# the documented policy; both are far above any realistic live-order
+# count, and entries are only built on demand, so raising them costs
+# nothing for single-scene runs.
+
+#: bound for cheap per-order tables (grids, SH transform tables,
+#: quadrature rules): tens of kB per entry, so hundreds of entries are
+#: negligible next to one simulation's state.
+PER_ORDER_CACHE_SIZE = 128
+
+#: bound for heavy per-order tables (rotation/circulant bundles, dense
+#: grid-operator matrices, band-limit projectors): up to tens of MB per
+#: entry at high order, so the bound stays moderate — still 4x the old
+#: value, covering a 32-distinct-order concurrent sweep without
+#: eviction.
+HEAVY_TABLE_CACHE_SIZE = 32
+
+
+def locked_cache(maxsize: int):
+    """``lru_cache`` variant whose misses build under a lock.
+
+    CPython's ``lru_cache`` is thread-safe for *lookups*, but two
+    threads missing on the same key both call the factory and one
+    result wins — for our table factories that means the same table is
+    built twice (wasted seconds at high order) and the frozen-table
+    registry holds a weakref to a table that is immediately dropped.
+    This wrapper serializes the factory call with a re-entrant lock so
+    concurrent first calls build exactly once and every caller gets the
+    same object. Hits pay one uncontended lock acquire (~100 ns) on top
+    of the cache lookup — invisible next to the numpy work all callers
+    do with the result.
+
+    ``cache_info`` / ``cache_clear`` are forwarded from the underlying
+    ``lru_cache``.
+    """
+    def deco(fn):
+        cached = functools.lru_cache(maxsize=maxsize)(fn)
+        lock = threading.RLock()
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with lock:
+                return cached(*args, **kwargs)
+
+        wrapper.cache_info = cached.cache_info
+        wrapper.cache_clear = cached.cache_clear
+        wrapper.__wrapped__ = fn
+        return wrapper
+    return deco
 
 
 class DeterminismError(RuntimeError):
@@ -33,7 +94,7 @@ class DeterminismError(RuntimeError):
 
 #: weak references to every registered shared table (dead refs are
 #: pruned lazily on iteration).
-_shared: list = []
+_shared: list = []  # repro-lint: disable=global-mutable — the process-wide shared-table registry is the point of this module; append-only weakrefs
 
 
 def register_shared(arr: np.ndarray) -> np.ndarray:

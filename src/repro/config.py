@@ -126,6 +126,11 @@ class NumericsOptions:
     #: sampled bit-identical task reruns). The per-cell tasks touch
     #: disjoint state and results are always gathered by cell index, so
     #: every executor is bit-identical to serial.
+    #:
+    #: This knob parallelizes *within* one scene. For many independent
+    #: scenes (parameter sweeps), parallelize *across* scenes instead —
+    #: :class:`repro.sweep.SweepRunner` maps whole scene jobs over the
+    #: same registry, with each scene's own executor left ``"serial"``.
     executor: str = "serial"
     #: Worker count of the ``"thread"``/``"process"`` executors (ignored
     #: by ``"serial"``). ``workers=1`` still runs tasks on a pool but
@@ -249,6 +254,13 @@ class ReproConfig:
     validate on construction and round-trip losslessly through
     :meth:`to_dict` / :meth:`from_dict` (and JSON) provided every force
     term is serializable.
+
+    That serializability is also what makes a config the unit of a
+    *sweep*: a :class:`repro.sweep.SceneJob` is one config plus initial
+    cell state and a duration, and :class:`repro.sweep.SweepRunner`
+    maps N such jobs over the executor registry with failure isolation
+    and whole-sweep kill/resume (see "Running sweeps" in
+    ``examples/quickstart.py``).
     """
 
     dt: float = 0.05

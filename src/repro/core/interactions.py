@@ -234,6 +234,7 @@ class InteractionBackend:
         return out
 
 
+# repro-lint: disable=global-mutable — class registry written once at import time by @register_backend, read-only afterwards
 BACKENDS: Dict[str, Type[InteractionBackend]] = {}
 
 

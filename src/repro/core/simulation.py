@@ -146,6 +146,16 @@ class Simulation:
         early when a threaded simulation is discarded mid-run."""
         return self.stepper.executor
 
+    @property
+    def checkpointable(self) -> bool:
+        """Whether :func:`repro.resilience.save_checkpoint` supports this
+        scene. Vessel-bound and recycling scenes are not yet serializable
+        (the checkpoint format covers free-space cell state only), so
+        callers that checkpoint opportunistically — the sweep runner
+        above all — consult this instead of catching the
+        ``NotImplementedError`` the save would raise."""
+        return self.vessel is None and self.recycler is None
+
     # -- driving ------------------------------------------------------------
     def step(self) -> StepReport:
         """Advance one *nominal* time step, transactionally.
@@ -192,7 +202,7 @@ class Simulation:
         defined on.
         """
         dt_nominal = self.config.dt
-        sentinel = HealthSentinel(pol)
+        sentinel = HealthSentinel(pol, warnings=self.stepper.warnings)
         t0 = self.t
         remaining = Fraction(1)     # of the nominal step, still to cover
         frac = Fraction(1)          # current sub-step size

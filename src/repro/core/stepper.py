@@ -43,7 +43,7 @@ from ..physics.tension import TensionSolver
 from ..physics.terms import (BackgroundFlow, Bending, CellState, ForceTerm,
                              Gravity, Tension)
 from ..analysis.contracts import set_debug_checks
-from ..resilience.health import warn_once
+from ..resilience.health import WarnOnceRegistry
 from ..runtime.executor import make_executor, resolve_workers
 from ..surfaces import SpectralSurface
 from ..vesicle import SingularSelfInteraction
@@ -135,6 +135,10 @@ class TimeStepper:
         self.boundary_bc = boundary_bc
         self.ncp = ncp_solver
         self.timers = timers or ComponentTimers()
+        #: per-run once-only warning registry: recurring findings (capped
+        #: BIE, degraded backend) log once per *simulation*, so concurrent
+        #: runs in one process never suppress each other's warnings.
+        self.warnings = WarnOnceRegistry()
         self.implicit_tol = implicit_tol
         self.implicit_max_iter = implicit_max_iter
         self.viscosity = self.options.viscosity
@@ -346,7 +350,7 @@ class TimeStepper:
             if nxt is None:
                 break
             from .interactions import make_backend
-            warn_once(
+            self.warnings.warn_once(
                 f"backend-degraded:{self.backend.name}->{nxt}",
                 f"interaction backend {self.backend.name!r} produced "
                 f"non-finite velocities; degrading to {nxt!r} for the "
@@ -588,25 +592,29 @@ class TimeStepper:
             impl_conv = [conv for _, _, conv in results]
             lu_singular = self._singular_lu_cells()
             if not bie_conv:
-                warn_once("stepper:bie-nonconverged",
-                          "boundary-integral GMRES hit its iteration cap "
-                          "without reaching tolerance (recorded on "
-                          "StepReport.bie_converged)")
+                self.warnings.warn_once(
+                    "stepper:bie-nonconverged",
+                    "boundary-integral GMRES hit its iteration cap "
+                    "without reaching tolerance (recorded on "
+                    "StepReport.bie_converged)")
             if not all(impl_conv):
-                warn_once("stepper:implicit-nonconverged",
-                          "implicit GMRES fallback did not converge on "
-                          "cells %s (recorded on "
-                          "StepReport.implicit_converged)" % [
-                              i for i, ok in enumerate(impl_conv) if not ok])
+                self.warnings.warn_once(
+                    "stepper:implicit-nonconverged",
+                    "implicit GMRES fallback did not converge on "
+                    "cells %s (recorded on "
+                    "StepReport.implicit_converged)" % [
+                        i for i, ok in enumerate(impl_conv) if not ok])
             if not tension_conv:
-                warn_once("stepper:tension-nonconverged",
-                          "tension GMRES solve did not converge (recorded "
-                          "on StepReport.tension_converged)")
+                self.warnings.warn_once(
+                    "stepper:tension-nonconverged",
+                    "tension GMRES solve did not converge (recorded "
+                    "on StepReport.tension_converged)")
             if lu_singular:
-                warn_once("stepper:lu-singular",
-                          "singular factorized operator on cells %s; "
-                          "solves routed through the GMRES fallback"
-                          % lu_singular)
+                self.warnings.warn_once(
+                    "stepper:lu-singular",
+                    "singular factorized operator on cells %s; "
+                    "solves routed through the GMRES fallback"
+                    % lu_singular)
 
         ncp_report = None
         if self.ncp is not None:

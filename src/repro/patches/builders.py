@@ -22,7 +22,7 @@ from ..config import NumericsOptions
 from .patch import ChebPatch
 from .surface import PatchSurface
 
-_FACES = [
+_FACES = (
     # (axis that is +-1, sign, u-axis, v-axis) chosen so Xu x Xv points outward.
     (0, +1, 1, 2),
     (0, -1, 2, 1),
@@ -30,7 +30,7 @@ _FACES = [
     (1, -1, 0, 2),
     (2, +1, 0, 1),
     (2, -1, 1, 0),
-]
+)
 
 
 def _cube_face_patch_fn(axis: int, sign: int, ua: int, va: int,

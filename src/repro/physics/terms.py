@@ -81,6 +81,7 @@ class ForceTerm:
 
 
 #: Registry of named, serializable force terms.
+# repro-lint: disable=global-mutable — class registry written once at import time by @register_force_term, read-only afterwards
 FORCE_TERMS: Dict[str, Type[ForceTerm]] = {}
 
 

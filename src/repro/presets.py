@@ -120,6 +120,7 @@ def weak_scaling(dt: float = 0.05) -> ReproConfig:
         numerics=NumericsOptions(check_r_factor=0.1))
 
 
+# repro-lint: disable=global-mutable — name->factory table written once here at import time, read-only afterwards
 ALL = {
     "sedimentation": sedimentation,
     "shear": shear,

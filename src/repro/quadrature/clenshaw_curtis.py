@@ -7,14 +7,12 @@ patches; the fine discretization uses an 11th-order rule on each of the
 """
 from __future__ import annotations
 
-from functools import lru_cache
-
 import numpy as np
 
-from ..analysis.guard import freeze
+from ..analysis.guard import PER_ORDER_CACHE_SIZE, freeze, locked_cache
 
 
-@lru_cache(maxsize=64)
+@locked_cache(maxsize=PER_ORDER_CACHE_SIZE)
 def _cc_cached(n: int) -> tuple[np.ndarray, np.ndarray]:
     if n < 1:
         raise ValueError("Clenshaw-Curtis rule needs at least one node")

@@ -6,14 +6,12 @@ band-limited (order p) function is exact.
 """
 from __future__ import annotations
 
-from functools import lru_cache
-
 import numpy as np
 
-from ..analysis.guard import freeze
+from ..analysis.guard import PER_ORDER_CACHE_SIZE, freeze, locked_cache
 
 
-@lru_cache(maxsize=64)
+@locked_cache(maxsize=PER_ORDER_CACHE_SIZE)
 def _gl_cached(n: int) -> tuple[np.ndarray, np.ndarray]:
     x, w = np.polynomial.legendre.leggauss(int(n))
     return freeze(x, w)

@@ -8,11 +8,9 @@ stable at any order via the barycentric formula.
 """
 from __future__ import annotations
 
-from functools import lru_cache
-
 import numpy as np
 
-from ..analysis.guard import freeze
+from ..analysis.guard import PER_ORDER_CACHE_SIZE, freeze, locked_cache
 
 
 def chebyshev_lobatto_nodes(n: int) -> np.ndarray:
@@ -23,7 +21,7 @@ def chebyshev_lobatto_nodes(n: int) -> np.ndarray:
     return -np.cos(np.pi * k / (n - 1))
 
 
-@lru_cache(maxsize=64)
+@locked_cache(maxsize=PER_ORDER_CACHE_SIZE)
 def _bary_weights_cached(n: int) -> np.ndarray:
     # Closed form for Chebyshev-Lobatto points: w_k = (-1)^k * delta_k,
     # delta = 1/2 at the endpoints, 1 elsewhere.

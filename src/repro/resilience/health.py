@@ -25,6 +25,7 @@ import :func:`warn_once` without a cycle.
 from __future__ import annotations
 
 import dataclasses
+import itertools
 import logging
 import threading
 from typing import List
@@ -33,30 +34,73 @@ import numpy as np
 
 _log = logging.getLogger(__name__)
 
-#: keys already warned about (process-wide, lock-guarded: refresh tasks
-#: may run on the thread pool).
-_warned: set = set()
-_warned_lock = threading.Lock()
+
+class WarnOnceRegistry:
+    """Per-run once-only warning registry.
+
+    Each :class:`~repro.core.stepper.TimeStepper` owns one, so recurring
+    per-step conditions (a capped BIE solve, a degraded backend) are
+    logged exactly once *per simulation* — not once per process. The old
+    process-global registry meant the first simulation to hit "BIE
+    capped" silenced that warning for every other simulation sharing the
+    interpreter (a sweep runs many), and a test calling
+    ``reset_warnings()`` nuked other live runs' state.
+
+    Keys carry run identity: every instance gets a process-unique
+    ``run_id`` (stamped into the logged message), and the seen-set is
+    per-instance, so two concurrent simulations never suppress each
+    other's findings. The registry is lock-guarded because refresh tasks
+    may run on the thread pool.
+    """
+
+    _ids = itertools.count(1)
+
+    def __init__(self, run_id: "str | None" = None):
+        self.run_id = run_id if run_id is not None \
+            else f"run-{next(WarnOnceRegistry._ids)}"
+        self._seen: set = set()
+        self._lock = threading.Lock()
+
+    def warn_once(self, key: str, message: str) -> bool:
+        """Emit ``message`` through :mod:`logging` the first time ``key``
+        is seen *by this registry*; later calls with the same key are
+        silent. Returns whether the warning fired."""
+        full_key = (self.run_id, key)
+        with self._lock:
+            if full_key in self._seen:
+                return False
+            self._seen.add(full_key)
+        _log.warning("[%s] %s", self.run_id, message)
+        return True
+
+    def reset(self) -> None:
+        """Forget every key this registry has seen."""
+        with self._lock:
+            self._seen.clear()
+
+
+#: the process-wide registry behind the deprecated module-level
+#: :func:`warn_once` / :func:`reset_warnings` shims; bound simulations
+#: each carry their own instance instead.
+# repro-lint: disable=global-mutable — deprecated shim registry; new code
+# binds a per-simulation WarnOnceRegistry (see class docstring)
+_module_registry = WarnOnceRegistry(run_id="process")
 
 
 def warn_once(key: str, message: str) -> bool:
-    """Emit ``message`` through :mod:`logging` the first time ``key`` is
-    seen; later calls with the same key are silent. Returns whether the
-    warning fired. Recurring per-step conditions (a capped BIE solve, a
-    degraded backend) would otherwise flood the log at one line per
-    step."""
-    with _warned_lock:
-        if key in _warned:
-            return False
-        _warned.add(key)
-    _log.warning(message)
-    return True
+    """Deprecated module-level shim over a process-wide
+    :class:`WarnOnceRegistry`. Kept for the few module-level call sites
+    and for backward compatibility; simulation-scoped code should use
+    the registry bound on its stepper (``stepper.warnings.warn_once``)
+    so one run's findings never suppress another's."""
+    return _module_registry.warn_once(key, message)
 
 
 def reset_warnings() -> None:
-    """Forget every :func:`warn_once` key (test isolation)."""
-    with _warned_lock:
-        _warned.clear()
+    """Forget every key of the deprecated module-level shim registry
+    (test isolation). Per-simulation registries are unaffected — use
+    ``stepper.warnings.reset()`` for those."""
+    _module_registry.reset()
 
 
 class StepRejectedError(RuntimeError):
@@ -92,10 +136,15 @@ class StepHealth:
 
 class HealthSentinel:
     """Evaluates a stepped simulation state against a
-    :class:`repro.config.ResilienceOptions` policy."""
+    :class:`repro.config.ResilienceOptions` policy.
 
-    def __init__(self, policy):
+    ``warnings`` scopes the record-only findings' once-per-run log lines
+    to one simulation (pass the stepper's :class:`WarnOnceRegistry`);
+    when omitted, the deprecated process-wide shim registry is used."""
+
+    def __init__(self, policy, warnings: "WarnOnceRegistry | None" = None):
         self.policy = policy
+        self.warnings = warnings if warnings is not None else _module_registry
 
     def evaluate(self, stepper, report, snapshot) -> StepHealth:
         """Validate the post-step state of ``stepper`` against the
@@ -157,15 +206,17 @@ class HealthSentinel:
         # never reject): surfaced through warn_once so long runs log
         # them exactly once.
         if not report.bie_converged:
-            warn_once("bie-nonconverged",
-                      "boundary-integral GMRES hit its iteration cap "
-                      "without reaching tolerance (the paper's capped-"
-                      "iteration regime); recording, not rejecting")
+            self.warnings.warn_once(
+                "bie-nonconverged",
+                "boundary-integral GMRES hit its iteration cap "
+                "without reaching tolerance (the paper's capped-"
+                "iteration regime); recording, not rejecting")
         if report.lu_singular:
-            warn_once("lu-singular",
-                      f"singular LU factorization on cells "
-                      f"{report.lu_singular}; solves routed through the "
-                      "GMRES fallback")
+            self.warnings.warn_once(
+                "lu-singular",
+                f"singular LU factorization on cells "
+                f"{report.lu_singular}; solves routed through the "
+                "GMRES fallback")
 
         return StepHealth(healthy=not failures, failures=failures,
                           nonfinite_cells=nonfinite,

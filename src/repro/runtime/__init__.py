@@ -15,6 +15,7 @@ assembly) are real implementations operating on the virtual ranks.
 pluggable executors (serial / worker-thread pool) that the time stepper
 maps its per-cell stage tasks over.
 """
+from .caches import warm_caches
 from .communicator import VirtualComm, CommLedger
 from .executor import (EXECUTORS, Executor, ProcessPoolExecutor, ProcessTask,
                        SerialExecutor, ThreadPoolExecutor, make_executor,
@@ -24,6 +25,7 @@ from .parallel_sort import parallel_sample_sort
 from .spatial_hash import SpatialHash, morton_keys_3d, morton_decode_3d
 
 __all__ = [
+    "warm_caches",
     "VirtualComm",
     "CommLedger",
     "Executor",

@@ -113,6 +113,7 @@ class Executor:
 
 
 #: Registry of named executors (mirrors the interaction-backend registry).
+# repro-lint: disable=global-mutable — class registry written once at import time by @register_executor, read-only afterwards
 EXECUTORS: Dict[str, Type[Executor]] = {}
 
 

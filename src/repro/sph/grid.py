@@ -1,11 +1,10 @@
 """Latitude-longitude sampling grid for spherical-harmonic surfaces."""
 from __future__ import annotations
 
-from functools import lru_cache
-
 import numpy as np
 
-from ..analysis.guard import freeze_attributes
+from ..analysis.guard import (PER_ORDER_CACHE_SIZE, freeze_attributes,
+                              locked_cache)
 from ..quadrature import gauss_legendre
 
 
@@ -83,7 +82,8 @@ class SphGrid:
         return f.reshape(self.nlat, self.nphi, *f.shape[1:])
 
 
-@lru_cache(maxsize=32)
+@locked_cache(maxsize=PER_ORDER_CACHE_SIZE)
 def get_grid(order: int) -> SphGrid:
-    """Cached grid accessor (grids are immutable)."""
+    """Cached grid accessor (grids are immutable; bound and build-locking
+    per the shared-table cache policy in :mod:`repro.analysis.guard`)."""
     return SphGrid(order)

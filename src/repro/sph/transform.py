@@ -18,12 +18,13 @@ Transforms themselves are cached per order via :func:`get_transform`.
 """
 from __future__ import annotations
 
-from functools import lru_cache
+import threading
 
 import numpy as np
 
 from ..analysis.contracts import checked
-from ..analysis.guard import freeze, freeze_attributes
+from ..analysis.guard import (PER_ORDER_CACHE_SIZE, freeze,
+                              freeze_attributes, locked_cache)
 from .alp import (
     normalized_alp,
     normalized_alp_theta_derivative,
@@ -61,6 +62,10 @@ class _TransformTables:
         self.A_lat = self.S_val * grid.glw[None, :]
         self._analysis_dense = None
         self._synthesis_dense = None
+        # Guards the lazy dense-matrix builds: concurrent simulations
+        # share one table set per order, and an unlocked lazy build
+        # races the same way an unlocked factory does.
+        self._dense_lock = threading.Lock()
         # One table set per order, shared by every transform/surface of
         # that order via the _transform_tables cache: freeze them.
         freeze_attributes(self)
@@ -88,27 +93,31 @@ class _TransformTables:
         operator-assembly code paths need it).
         """
         if self._analysis_dense is None:
-            grid = self.grid
-            phase = np.exp(-1j * np.outer(self.ms, grid.phi))  # (ncoef, nphi)
-            A = (self.A_lat[:, :, None] * phase[:, None, :]
-                 * (2.0 * np.pi / grid.nphi))
-            self._analysis_dense = freeze(
-                A.reshape(self.ms.size, grid.n_points))
+            with self._dense_lock:
+                if self._analysis_dense is None:
+                    grid = self.grid
+                    phase = np.exp(-1j * np.outer(self.ms, grid.phi))
+                    A = (self.A_lat[:, :, None] * phase[:, None, :]
+                         * (2.0 * np.pi / grid.nphi))
+                    self._analysis_dense = freeze(
+                        A.reshape(self.ms.size, grid.n_points))
         return self._analysis_dense
 
     def synthesis_dense(self) -> np.ndarray:
         """Full dense synthesis matrix ``S``: ``f.ravel() = S @ c.ravel()``
         (real part for real fields). Shape ``(nlat * nphi, (p+1)(2p+1))``."""
         if self._synthesis_dense is None:
-            grid = self.grid
-            phase = np.exp(1j * np.outer(self.ms, grid.phi))
-            S = self.S_val[:, :, None] * phase[:, None, :]
-            self._synthesis_dense = freeze(
-                S.reshape(self.ms.size, grid.n_points).T.copy())
+            with self._dense_lock:
+                if self._synthesis_dense is None:
+                    grid = self.grid
+                    phase = np.exp(1j * np.outer(self.ms, grid.phi))
+                    S = self.S_val[:, :, None] * phase[:, None, :]
+                    self._synthesis_dense = freeze(
+                        S.reshape(self.ms.size, grid.n_points).T.copy())
         return self._synthesis_dense
 
 
-@lru_cache(maxsize=32)
+@locked_cache(maxsize=PER_ORDER_CACHE_SIZE)
 def _transform_tables(order: int) -> _TransformTables:
     return _TransformTables(order)
 
@@ -259,9 +268,14 @@ class SHTransform:
         return get_transform(q).inverse(cq, real=real)
 
 
-@lru_cache(maxsize=32)
+@locked_cache(maxsize=PER_ORDER_CACHE_SIZE)
 def get_transform(order: int) -> SHTransform:
-    """Cached per-order transform accessor (instances are stateless)."""
+    """Cached per-order transform accessor (instances are stateless).
+
+    Bound and build-locking follow the shared-table cache policy in
+    :mod:`repro.analysis.guard` (``PER_ORDER_CACHE_SIZE``): concurrent
+    first calls build once, and mixed-order sweeps never evict a live
+    scene's tables."""
     return SHTransform(order)
 
 

@@ -11,13 +11,12 @@ vesicle codes such as [48].
 from __future__ import annotations
 
 import dataclasses
-from functools import lru_cache
 from typing import Optional
 
 import numpy as np
 
 from ..analysis.contracts import checked
-from ..analysis.guard import freeze
+from ..analysis.guard import HEAVY_TABLE_CACHE_SIZE, freeze, locked_cache
 from ..sph import SHTransform, get_transform
 from ..sph.grid import SphGrid
 
@@ -31,7 +30,7 @@ def _phi_derivative_rows(F: np.ndarray) -> np.ndarray:
     return np.fft.ifft(Fk * (1j * m)[None, :], axis=1).real
 
 
-@lru_cache(maxsize=8)
+@locked_cache(maxsize=HEAVY_TABLE_CACHE_SIZE)
 def _grid_operator_matrices(p: int, q: int) -> dict:
     """Dense real grid-to-grid operators between orders ``p`` and ``q``.
 
@@ -84,7 +83,7 @@ def _grid_operator_matrices(p: int, q: int) -> dict:
     }
 
 
-@lru_cache(maxsize=8)
+@locked_cache(maxsize=HEAVY_TABLE_CACHE_SIZE)
 def bandlimit_projector(p: int) -> np.ndarray:
     """Dense (N, N) projector onto band-limited order-``p`` grid fields.
 

@@ -1,0 +1,33 @@
+"""Many-scene throughput engine: serve sweeps, not steps.
+
+The production workload is thousands of *independent* scenes (parameter
+sweeps, per-user configs). This package makes one scene a schedulable,
+serializable unit (:class:`SceneJob` -> :func:`run_scene` ->
+:class:`SceneResult`) and multiplexes N of them over the executor
+registry (:class:`SweepRunner`), with per-job failure isolation,
+per-job timeouts, process-wide warm table caches
+(:func:`repro.runtime.warm_caches`), and whole-sweep kill/resume on top
+of the bit-identical checkpoint layer.
+
+Quick use::
+
+    from repro import presets
+    from repro.surfaces import biconcave_rbc
+    from repro.sweep import SceneJob, SweepRunner
+
+    jobs = [SceneJob.from_cells(f"visc{mu}", presets.relaxation(),
+                                [biconcave_rbc(order=8)], n_steps=20)
+            for mu in (0.5, 1.0, 2.0)]
+    report = SweepRunner(jobs, executor="process", workers="auto",
+                         workdir="sweep_out").run()
+    for res in report.results:
+        print(res.job_id, res.status, res.t)
+"""
+from ..runtime.caches import warm_caches
+from .job import SceneJob, SceneResult, SceneTask, run_scene
+from .runner import SweepReport, SweepRunner
+
+__all__ = [
+    "SceneJob", "SceneResult", "SceneTask", "run_scene",
+    "SweepReport", "SweepRunner", "warm_caches",
+]

@@ -61,12 +61,12 @@ from __future__ import annotations
 
 import logging
 import threading
-from functools import lru_cache
 from typing import Sequence
 
 import numpy as np
 
-from ..analysis.guard import freeze, freeze_attributes
+from ..analysis.guard import (HEAVY_TABLE_CACHE_SIZE, freeze,
+                              freeze_attributes, locked_cache)
 from ..quadrature import gauss_legendre
 from ..sph.alp import normalized_alp_theta_derivative
 from ..sph.grid import get_grid
@@ -347,9 +347,12 @@ class _RotationTables:
         return self._circ
 
 
-@lru_cache(maxsize=8)
+@locked_cache(maxsize=HEAVY_TABLE_CACHE_SIZE)
 def _rotation_tables(p: int, q_rot: int) -> _RotationTables:
-    """Shared per-(p, q_rot) tables (every same-order cell reuses one)."""
+    """Shared per-(p, q_rot) tables (every same-order cell reuses one).
+
+    Bound and build-locking per the shared-table cache policy in
+    :mod:`repro.analysis.guard` (``HEAVY_TABLE_CACHE_SIZE``)."""
     return _RotationTables(p, q_rot)
 
 

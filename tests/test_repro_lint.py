@@ -461,6 +461,54 @@ def f(x):
         assert rules_of(src) == ["no-assert"]
 
 
+class TestGlobalMutablePass:
+    def test_module_level_dict_literal_fires(self):
+        assert rules_of("REGISTRY = {}\n") == ["global-mutable"]
+
+    def test_module_level_list_and_constructor_fire(self):
+        src = "cache = []\nseen = set()\n"
+        assert lines_of(src, "global-mutable") == [1, 2]
+
+    def test_annotated_assignment_fires(self):
+        src = "from typing import Dict\nB: Dict[str, int] = {}\n"
+        assert rules_of(src) == ["global-mutable"]
+
+    def test_comprehension_fires(self):
+        assert rules_of("squares = [i * i for i in range(4)]\n") == \
+            ["global-mutable"]
+
+    def test_immutable_module_state_passes(self):
+        src = ("FACES = ((0, 1), (1, 0))\n"
+               "NAMES = frozenset({'a', 'b'})\n"
+               "LIMIT = 128\n")
+        assert rules_of(src) == []
+
+    def test_dunder_all_exempt(self):
+        assert rules_of("__all__ = ['a', 'b']\n") == []
+
+    def test_function_and_class_locals_pass(self):
+        src = ("def f():\n    cache = {}\n    return cache\n"
+               "class C:\n    def __init__(self):\n"
+               "        self.seen = set()\n")
+        assert rules_of(src) == []
+
+    def test_suppression_with_reason(self):
+        src = ("# repro-lint: disable=global-mutable — import-time "
+               "registry, read-only afterwards\nREGISTRY = {}\n")
+        assert rules_of(src) == []
+
+    def test_warn_once_bug_shape_fires(self):
+        """The exact shape of the bug this rule exists for: a module
+        global seen-set shared by every simulation in the process."""
+        src = ("_seen = set()\n"
+               "def warn_once(key, message):\n"
+               "    if key in _seen:\n"
+               "        return False\n"
+               "    _seen.add(key)\n"
+               "    return True\n")
+        assert lines_of(src, "global-mutable") == [1]
+
+
 class TestAcceptance:
     def test_src_tree_is_clean(self):
         assert lint_paths([str(_ROOT / "src")]) == []

@@ -21,9 +21,10 @@ from repro.core import Simulation
 from repro.linalg.dense import (LUFactorization, StackedLUFactorization)
 from repro.physics.terms import Bending, Tension
 from repro.resilience import (CHECKPOINT_VERSION, HealthSentinel,
-                              StepRejectedError, capture_state,
-                              load_checkpoint, reset_warnings,
-                              restore_state, save_checkpoint, warn_once)
+                              StepRejectedError, WarnOnceRegistry,
+                              capture_state, load_checkpoint,
+                              reset_warnings, restore_state,
+                              save_checkpoint, warn_once)
 from repro.surfaces.shapes import biconcave_rbc, sphere
 
 
@@ -56,6 +57,51 @@ class TestWarnOnce:
             assert warn_once("test-key-b", "message b")
         finally:
             reset_warnings()
+
+
+class TestWarnOnceRegistry:
+    def test_registries_do_not_suppress_each_other(self):
+        a, b = WarnOnceRegistry(), WarnOnceRegistry()
+        assert a.warn_once("k", "m")
+        assert b.warn_once("k", "m")        # same key, other run: fires
+        assert not a.warn_once("k", "m")
+        assert a.run_id != b.run_id         # keys carry run identity
+
+    def test_reset_is_scoped(self):
+        a, b = WarnOnceRegistry(), WarnOnceRegistry()
+        a.warn_once("k", "m")
+        b.warn_once("k", "m")
+        a.reset()
+        assert a.warn_once("k", "m")        # a forgot
+        assert not b.warn_once("k", "m")    # b did not
+
+    def test_module_shim_reset_leaves_simulations_alone(self):
+        sim = _scene(ncell=1)
+        assert sim.stepper.warnings.warn_once("k", "m")
+        reset_warnings()                    # the deprecated global shim
+        assert not sim.stepper.warnings.warn_once("k", "m")
+
+    def test_degradation_warning_fires_once_per_simulation(self, caplog):
+        """Regression: pre-PR the first simulation to degrade its
+        backend silenced that warning for every other simulation in the
+        process (one process-global warn_once registry)."""
+        import logging
+        with caplog.at_level(logging.WARNING,
+                             logger="repro.resilience.health"):
+            for _ in range(2):
+                sim = _scene(ncell=2, backend="treecode")
+                with inject_nan(sim.backend, "cell_cell"):
+                    rep = sim.step()
+                assert rep.backend_degraded_to == "direct"
+        degraded = [r for r in caplog.records
+                    if "degrading to" in r.getMessage()]
+        assert len(degraded) == 2
+
+    def test_sentinel_uses_simulation_scoped_registry(self):
+        sim = _scene(ncell=1)
+        sentinel = HealthSentinel(sim.config.resilience,
+                                  warnings=sim.stepper.warnings)
+        assert sentinel.warnings is sim.stepper.warnings
 
 
 class TestSentinelBitIdentity:

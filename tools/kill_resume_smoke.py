@@ -15,8 +15,19 @@ a separate interpreter with cold caches. The driver:
 3. runs the 6-step uninterrupted reference in-process and compares
    bitwise (``np.array_equal``).
 
+``--mode sweep`` drives the same story one level up, at the
+:class:`repro.sweep.SweepRunner` layer: the driver spawns a multi-job
+sweep, polls its manifest until at least one job has completed (but not
+all), SIGKILLs the sweep process mid-flight, then re-runs the identical
+sweep in a fresh interpreter and requires that (a) the resume restores
+*exactly* the jobs the manifest had completed at kill time — no job
+lost, none repeated — and (b) every job's final positions are bitwise
+identical to running that job alone, uninterrupted.
+
 Run:  PYTHONPATH=src python tools/kill_resume_smoke.py [--steps N]
       [--order N] [--ncells N] [--workdir DIR]
+      PYTHONPATH=src python tools/kill_resume_smoke.py --mode sweep
+      [--jobs N] [--steps N] [--order N] [--workdir DIR]
 
 Exits 0 on bitwise equality, 1 otherwise. Wired into the nightly CI
 lane (the default lanes stay tier-1 only).
@@ -24,11 +35,13 @@ lane (the default lanes stay tier-1 only).
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import signal
 import subprocess
 import sys
 import tempfile
+import time
 
 import numpy as np
 
@@ -80,12 +93,17 @@ def phase_resume(args) -> None:
     _dump_state(sim, os.path.join(args.workdir, "resumed"))
 
 
-def drive(args) -> int:
+def _child_env() -> dict:
     env = dict(os.environ)
     src = os.path.join(os.path.dirname(os.path.dirname(
         os.path.abspath(__file__))), "src")
     env["PYTHONPATH"] = src + os.pathsep * bool(env.get("PYTHONPATH")) \
         + env.get("PYTHONPATH", "")
+    return env
+
+
+def drive(args) -> int:
+    env = _child_env()
 
     def spawn(phase: str) -> int:
         cmd = [sys.executable, os.path.abspath(__file__),
@@ -126,14 +144,133 @@ def drive(args) -> int:
     return 0 if ok else 1
 
 
+# -- sweep mode: SIGKILL a whole SweepRunner, resume, require exactness --
+
+def sweep_jobs(args):
+    """N single-cell relaxation jobs with distinct physics (a cross-job
+    mixup after resume cannot cancel out)."""
+    from repro.sweep import SceneJob
+    jobs = []
+    for i in range(args.jobs):
+        cfg = ReproConfig(dt=0.05, viscosity=1.0,
+                          forces=[Bending(0.03 + 0.01 * i), Tension()],
+                          backend="direct", with_collisions=False,
+                          numerics=NumericsOptions())
+        jobs.append(SceneJob.from_cells(
+            f"job{i}", cfg, [biconcave_rbc(1.0, order=args.order)],
+            n_steps=2 * args.steps))
+    return jobs
+
+
+def phase_sweep(args) -> None:
+    """Run (or resume — same call) the sweep; dump results for the driver.
+
+    ``max_inflight=1`` makes the manifest frontier advance per job, so
+    the driver's kill always lands between manifest writes."""
+    from repro.sweep import SweepRunner
+    report = SweepRunner(sweep_jobs(args), executor="serial",
+                         workdir=os.path.join(args.workdir, "sweep"),
+                         max_inflight=1).run()
+    arrays = {}
+    for res in report.results:
+        for ci, X in enumerate(res.positions or []):
+            arrays[f"{res.job_id}_c{ci}"] = X
+    np.savez(os.path.join(args.workdir, "sweep_results"), **arrays)
+    with open(os.path.join(args.workdir, "sweep_report.json"), "w") as fh:
+        json.dump({"restored": report.restored, "resumed": report.resumed,
+                   "statuses": {r.job_id: r.status
+                                for r in report.results}}, fh)
+
+
+def _manifest_completed(path: str) -> set:
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return set()
+    return {jid for jid, entry in data.get("jobs", {}).items()
+            if entry.get("status") == "completed"}
+
+
+def drive_sweep(args) -> int:
+    env = _child_env()
+
+    def cmd() -> list:
+        return [sys.executable, os.path.abspath(__file__),
+                "--mode", "sweep", "--phase", "sweep",
+                "--steps", str(args.steps), "--order", str(args.order),
+                "--jobs", str(args.jobs), "--workdir", args.workdir]
+
+    manifest = os.path.join(args.workdir, "sweep", "sweep_manifest.json")
+    child = subprocess.Popen(cmd(), env=env)
+    killed = False
+    deadline = time.time() + 600.0
+    while time.time() < deadline and child.poll() is None:
+        if _manifest_completed(manifest):
+            os.kill(child.pid, signal.SIGKILL)  # no cleanup, no atexit
+            killed = True
+            break
+        time.sleep(0.01)
+    child.wait()
+    if not killed:
+        print("FAIL: sweep finished before the kill fired")
+        return 1
+    done_at_kill = _manifest_completed(manifest)
+    if not done_at_kill or len(done_at_kill) >= args.jobs:
+        print(f"FAIL: kill window missed ({len(done_at_kill)}/"
+              f"{args.jobs} jobs already complete)")
+        return 1
+    print(f"[smoke] sweep SIGKILLed mid-flight with "
+          f"{sorted(done_at_kill)} complete")
+
+    if subprocess.run(cmd(), env=env).returncode != 0:
+        print("FAIL: sweep resume run crashed")
+        return 1
+    with open(os.path.join(args.workdir, "sweep_report.json")) as fh:
+        report = json.load(fh)
+
+    ok = True
+    if set(report["restored"]) != done_at_kill:
+        print(f"FAIL: resume restored {sorted(report['restored'])} but "
+              f"{sorted(done_at_kill)} were complete at kill time "
+              "(a job was lost or repeated)")
+        ok = False
+    bad = {j: s for j, s in report["statuses"].items() if s != "completed"}
+    if bad:
+        print(f"FAIL: jobs did not complete after resume: {bad}")
+        ok = False
+
+    from repro.sweep import run_scene
+    with np.load(os.path.join(args.workdir, "sweep_results.npz")) as data:
+        for job in sweep_jobs(args):
+            ref = run_scene(job)
+            for ci, X in enumerate(ref.positions):
+                key = f"{job.job_id}_c{ci}"
+                if not np.array_equal(data[key], X):
+                    print(f"FAIL: {job.job_id} cell {ci} diverged from "
+                          "its solo uninterrupted run")
+                    ok = False
+    if ok:
+        print(f"[smoke] OK: {args.jobs}-job sweep survived SIGKILL — "
+              f"resume restored {sorted(done_at_kill)} verbatim, "
+              "completed the rest, all bit-identical to solo runs")
+    return 0 if ok else 1
+
+
 def main() -> None:
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--phase", choices=("crash", "resume"), default=None,
+    ap.add_argument("--mode", choices=("single", "sweep"), default="single",
+                    help="single: kill one checkpointed run; "
+                         "sweep: kill a whole SweepRunner")
+    ap.add_argument("--phase", choices=("crash", "resume", "sweep"),
+                    default=None,
                     help=argparse.SUPPRESS)  # internal: spawned phases
     ap.add_argument("--steps", type=int, default=3,
                     help="steps before the kill (and again after resume)")
     ap.add_argument("--order", type=int, default=8)
     ap.add_argument("--ncells", type=int, default=6)
+    ap.add_argument("--jobs", type=int, default=4,
+                    help="sweep mode: number of scene jobs")
     ap.add_argument("--workdir", default=None,
                     help="scratch directory (default: a fresh tempdir)")
     args = ap.parse_args()
@@ -143,6 +280,10 @@ def main() -> None:
         phase_crash(args)
     elif args.phase == "resume":
         phase_resume(args)
+    elif args.phase == "sweep":
+        phase_sweep(args)
+    elif args.mode == "sweep":
+        sys.exit(drive_sweep(args))
     else:
         sys.exit(drive(args))
 

@@ -20,6 +20,11 @@
    subclasses must be module-level with picklable instance state, and
    callables mapped on the process executor must not be lambdas or
    local closures (workers unpickle tasks by module path).
+5. **Module-level mutable state** (:mod:`.globals_lint`) — a
+   module-level mutable container is process-global state shared by
+   every simulation in the process (the ``warn_once``-registry bug
+   class); it must become per-instance state, an immutable table, or a
+   suppressed, documented registry.
 
 Suppress a finding with a trailing (or directly preceding) comment::
 
@@ -35,6 +40,7 @@ from .suppressions import Suppressions
 from .determinism import check_determinism
 from .hygiene import check_hygiene
 from .contracts_lint import check_contracts
+from .globals_lint import check_globals
 from .picklable import check_picklable
 
 #: every rule id a suppression comment may name.
@@ -48,11 +54,12 @@ ALL_RULES = (
     "sentinel-suppress",
     "contract-dtype",
     "picklable-task",
+    "global-mutable",
     "bad-suppression",
 )
 
 _PASSES = (check_determinism, check_hygiene, check_contracts,
-           check_picklable)
+           check_picklable, check_globals)
 
 
 def lint_source(path: str, source: str) -> list[Violation]:

@@ -1,0 +1,93 @@
+"""Module-level mutable state pass.
+
+Rule ``global-mutable`` — a module-level name bound to a mutable
+container (a ``list``/``dict``/``set`` literal or comprehension, or a
+call to one of the mutable stdlib container constructors) is
+process-global state shared by *every simulation in the process*. The
+``warn_once`` registry bug this repo shipped is the canonical failure:
+one simulation's warning silently suppressed every other simulation's,
+and nothing crashed. Under the many-scene sweep workload (N independent
+scenes per process, threads or forked workers) such state is either a
+correctness bug waiting to fire or a deliberate, documented registry.
+
+The pass forces the distinction to be explicit: hoist the state into an
+instance (per-``Simulation``/per-``Stepper``), freeze it into an
+immutable table (tuple/frozenset/``freeze``), or keep it global with a
+suppression naming why that is sound::
+
+    EXECUTORS: dict = {}  # repro-lint: disable=global-mutable — <why>
+
+``__all__`` and other dunder conventions are exempt, as are
+``TYPE_CHECKING``-style annotation-only statements.
+"""
+from __future__ import annotations
+
+import ast
+
+from .base import Violation, terminal_identifier
+
+#: constructors whose module-level call is a mutable container.
+_MUTABLE_CONSTRUCTORS = {
+    "list", "dict", "set", "bytearray",
+    "defaultdict", "deque", "Counter", "OrderedDict", "ChainMap",
+}
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set,
+                     ast.ListComp, ast.DictComp, ast.SetComp)
+
+
+def _is_mutable_value(node: ast.AST) -> str | None:
+    """Kind string when ``node`` builds a mutable container, else None."""
+    if isinstance(node, _MUTABLE_LITERALS):
+        return {ast.List: "list", ast.Dict: "dict", ast.Set: "set",
+                ast.ListComp: "list", ast.DictComp: "dict",
+                ast.SetComp: "set"}[type(node)]
+    if isinstance(node, ast.Call):
+        tid = terminal_identifier(node.func)
+        if tid in _MUTABLE_CONSTRUCTORS:
+            return tid
+    return None
+
+
+def _target_names(node: ast.stmt) -> list[tuple[str, ast.AST]]:
+    """(name, value) pairs bound by a top-level assignment statement."""
+    if isinstance(node, ast.Assign):
+        out = []
+        for t in node.targets:
+            if isinstance(t, ast.Name):
+                out.append((t.id, node.value))
+            elif isinstance(t, ast.Tuple):
+                # a, b = [], {}  — pair element-wise when shapes match
+                if isinstance(node.value, ast.Tuple) and \
+                        len(node.value.elts) == len(t.elts):
+                    out.extend((e.id, v) for e, v in
+                               zip(t.elts, node.value.elts)
+                               if isinstance(e, ast.Name))
+                else:
+                    out.extend((e.id, node.value) for e in t.elts
+                               if isinstance(e, ast.Name))
+        return out
+    if isinstance(node, ast.AnnAssign) and node.value is not None and \
+            isinstance(node.target, ast.Name):
+        return [(node.target.id, node.value)]
+    return []
+
+
+def check_globals(path: str, tree: ast.Module,
+                  source: str) -> list[Violation]:
+    out: list[Violation] = []
+    for stmt in tree.body:
+        for name, value in _target_names(stmt):
+            if name.startswith("__") and name.endswith("__"):
+                continue  # __all__ and friends: module conventions
+            kind = _is_mutable_value(value)
+            if kind is None:
+                continue
+            out.append(Violation(
+                path, value.lineno, "global-mutable",
+                f"module-level mutable {kind} '{name}' is shared by "
+                "every simulation in the process (the warn_once-registry "
+                "bug class); make it per-instance state, freeze it into "
+                "an immutable table, or suppress with a reason why a "
+                "process-global registry is sound here"))
+    return out
